@@ -1,0 +1,124 @@
+"""Shared driver for the fail-over figures (Figs 8-12).
+
+Each figure plots throughput over time for three curves:
+
+* compute crash, failed resources reused (blue)   — dips to ~2/3,
+  returns to the pre-failure level once the node restarts;
+* compute crash, resources not reused (red)       — dips and stays at
+  the surviving node's capacity;
+* memory crash (yellow)                            — drops to ~zero
+  during the stop-the-world reconfiguration, then rapidly recovers.
+"""
+
+from __future__ import annotations
+
+from conftest import FAILOVER_CRASH_AT, FAILOVER_DURATION, series_rate
+from repro.bench.harness import run_failover
+from repro.bench.report import format_series, format_table, write_report
+
+__all__ = ["run_failover_figure"]
+
+
+def run_failover_figure(name: str, title: str, workload_factory, coordinators=16):
+    """Run the three curves and emit the figure's report + checks."""
+    reuse = run_failover(
+        workload_factory,
+        protocol="pandora",
+        crash_kind="compute",
+        crash_at=FAILOVER_CRASH_AT,
+        duration=FAILOVER_DURATION,
+        reuse_resources=True,
+        coordinators_per_node=coordinators,
+    )
+    no_reuse = run_failover(
+        workload_factory,
+        protocol="pandora",
+        crash_kind="compute",
+        crash_at=FAILOVER_CRASH_AT,
+        duration=FAILOVER_DURATION,
+        reuse_resources=False,
+        coordinators_per_node=coordinators,
+    )
+    memory = run_failover(
+        workload_factory,
+        protocol="pandora",
+        crash_kind="memory",
+        crash_at=FAILOVER_CRASH_AT,
+        duration=FAILOVER_DURATION,
+        coordinators_per_node=coordinators,
+    )
+
+    sections = []
+    rows = []
+    for label, result in (
+        ("compute crash, reuse", reuse),
+        ("compute crash, no reuse", no_reuse),
+        ("memory crash", memory),
+    ):
+        # Detection takes ~5 ms; probe the window after it.
+        dip = series_rate(result.series, FAILOVER_CRASH_AT + 6e-3, FAILOVER_CRASH_AT + 12e-3)
+        post = series_rate(result.series, FAILOVER_DURATION - 15e-3, FAILOVER_DURATION)
+        rows.append(
+            (
+                label,
+                f"{result.pre_rate / 1e6:.3f}",
+                f"{dip / 1e6:.3f}",
+                f"{post / 1e6:.3f}",
+                f"{dip / result.pre_rate:.2f}" if result.pre_rate else "n/a",
+                f"{post / result.pre_rate:.2f}" if result.pre_rate else "n/a",
+            )
+        )
+        sections.append(
+            format_series(
+                f"{title} — {label}",
+                result.series,
+                markers=[
+                    (FAILOVER_CRASH_AT, "crash"),
+                    (FAILOVER_CRASH_AT + 5e-3, "detected (5ms FD timeout)"),
+                ],
+            )
+        )
+
+    table = format_table(
+        f"{title}: fail-over throughput (Mtps)",
+        ["curve", "pre", "post-crash dip", "final", "dip/pre", "final/pre"],
+        rows,
+        note=(
+            "Paper shapes: compute crash dips to roughly the surviving "
+            "capacity and never to zero; reuse restores the pre-failure "
+            "level; a memory crash briefly stops the whole KVS, then "
+            "recovers."
+        ),
+    )
+    write_report(name, table + "\n" + "\n".join(sections))
+    return reuse, no_reuse, memory
+
+
+def check_failover_shapes(reuse, no_reuse, memory):
+    """The figure's qualitative claims, as assertions."""
+    crash = FAILOVER_CRASH_AT
+    for result in (reuse, no_reuse):
+        dip = series_rate(result.series, crash + 6e-3, crash + 12e-3)
+        # Non-blocking: the survivors keep committing (never zero),
+        # at roughly the surviving node's share of capacity.
+        assert dip > 0.2 * result.pre_rate
+        assert dip < 0.95 * result.pre_rate
+
+    post_reuse = series_rate(reuse.series, FAILOVER_DURATION - 15e-3, FAILOVER_DURATION)
+    post_no_reuse = series_rate(
+        no_reuse.series, FAILOVER_DURATION - 15e-3, FAILOVER_DURATION
+    )
+    # Reusing the freed resources restores (most of) the lost capacity.
+    assert post_reuse > post_no_reuse
+
+    # Memory crash: between the instant verb failures and the
+    # stop-the-world reconfiguration, throughput hits (near) zero...
+    reconfig_dip = min(
+        rate
+        for when, rate in memory.series
+        if crash + 1e-3 <= when <= crash + 12e-3
+    )
+    assert reconfig_dip < 0.2 * memory.pre_rate
+    # ...and throughput comes back afterwards.
+    post_memory = series_rate(memory.series, FAILOVER_DURATION - 15e-3, FAILOVER_DURATION)
+    assert post_memory > 0.5 * memory.pre_rate

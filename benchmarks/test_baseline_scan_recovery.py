@@ -1,0 +1,72 @@
+"""§6.1 — the Baseline's scan-based recovery takes seconds.
+
+Paper: FORD's anonymous locks force recovery to scan the entire store
+with one-sided reads from a single recovery thread: "around 5 seconds
+for 1 million keys", growing linearly with the key count, while the
+whole KVS is stopped. This is the ablation of PILL — remove the owner
+id from the lock word and this scan is what recovery degenerates to.
+"""
+
+import pytest
+
+from conftest import micro_factory
+from repro.bench.harness import run_recovery_latency
+from repro.bench.report import format_table, write_report
+
+KEY_SWEEP = [5_000, 20_000, 50_000]
+
+
+def _sweep():
+    rows = []
+    latencies = {}
+    for keys in KEY_SWEEP:
+        baseline = run_recovery_latency(
+            micro_factory(write_ratio=1.0, keys=keys),
+            coordinators_per_node=8,
+            protocol="baseline",
+            crash_at=6e-3,
+        )
+        latencies[keys] = baseline.latency
+        per_million = baseline.latency * (1_000_000 / keys)
+        rows.append(
+            (
+                keys,
+                f"{baseline.latency * 1e3:9.2f}",
+                f"{per_million:6.2f}",
+            )
+        )
+    pandora = run_recovery_latency(
+        micro_factory(write_ratio=1.0, keys=KEY_SWEEP[-1]),
+        coordinators_per_node=8,
+        protocol="pandora",
+        crash_at=6e-3,
+    )
+    return rows, latencies, pandora
+
+
+@pytest.mark.benchmark(group="scan")
+def test_baseline_scan_recovery(benchmark):
+    rows, latencies, pandora = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows.append(("(pandora, 50k keys)", f"{pandora.latency * 1e3:9.2f}", "-"))
+    text = format_table(
+        "Baseline (FORD) scan recovery latency vs store size",
+        ["keys", "recovery (ms)", "extrapolated s per 1M keys"],
+        rows,
+        note=(
+            "Paper: ~5 s per million keys, single recovery thread, whole "
+            "KVS blocked. Pandora's log recovery is shown for contrast."
+        ),
+    )
+    write_report("baseline_scan_recovery", text)
+
+    # Linear growth in the key count (ratio tracks the key ratio).
+    ratio = latencies[KEY_SWEEP[-1]] / latencies[KEY_SWEEP[0]]
+    key_ratio = KEY_SWEEP[-1] / KEY_SWEEP[0]
+    assert 0.5 * key_ratio <= ratio <= 1.5 * key_ratio
+
+    # Extrapolated per-million-keys cost lands in "multiple seconds".
+    per_million = latencies[KEY_SWEEP[-1]] * (1_000_000 / KEY_SWEEP[-1])
+    assert per_million > 1.0
+
+    # Orders of magnitude slower than Pandora on the same store.
+    assert latencies[KEY_SWEEP[-1]] > 100 * pandora.latency

@@ -1,0 +1,20 @@
+"""Fig 10 — TATP fail-over throughput (compute & memory crashes)."""
+
+import pytest
+
+from conftest import tatp_factory
+from failover_common import check_failover_shapes, run_failover_figure
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_failover_tatp(benchmark):
+    reuse, no_reuse, memory = benchmark.pedantic(
+        lambda: run_failover_figure(
+            "fig10_failover_tatp",
+            "Fig 10: TATP",
+            tatp_factory(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    check_failover_shapes(reuse, no_reuse, memory)

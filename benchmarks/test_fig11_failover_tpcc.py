@@ -1,0 +1,20 @@
+"""Fig 11 — TPC-C fail-over throughput (compute & memory crashes)."""
+
+import pytest
+
+from conftest import tpcc_factory
+from failover_common import check_failover_shapes, run_failover_figure
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_failover_tpcc(benchmark):
+    reuse, no_reuse, memory = benchmark.pedantic(
+        lambda: run_failover_figure(
+            "fig11_failover_tpcc",
+            "Fig 11: TPC-C",
+            tpcc_factory(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    check_failover_shapes(reuse, no_reuse, memory)

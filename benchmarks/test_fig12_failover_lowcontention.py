@@ -1,0 +1,53 @@
+"""Fig 12 — SmallBank fail-over with half the coordinators.
+
+Paper (§6.4): when the system is not bandwidth-oversubscribed (half
+the coordinators), reusing the failed coordinators' resources restores
+the post-failure throughput to the pre-failure level — the
+"paradoxical" above-pre-failure throughput of the oversubscribed runs
+disappears.
+"""
+
+import pytest
+
+from conftest import (
+    FAILOVER_CRASH_AT,
+    FAILOVER_DURATION,
+    series_rate,
+    smallbank_factory,
+)
+from repro.bench.harness import run_failover
+from repro.bench.report import format_series, format_table, write_report
+
+
+def _run():
+    return run_failover(
+        smallbank_factory(),
+        protocol="pandora",
+        crash_kind="compute",
+        crash_at=FAILOVER_CRASH_AT,
+        duration=FAILOVER_DURATION,
+        reuse_resources=True,
+        coordinators_per_node=8,  # half of the other figures' 16
+    )
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_failover_low_contention(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    post = series_rate(result.series, FAILOVER_DURATION - 15e-3, FAILOVER_DURATION)
+    ratio = post / result.pre_rate if result.pre_rate else 0.0
+    text = format_table(
+        "Fig 12: SmallBank fail-over with half the coordinators (reuse)",
+        ["pre (Mtps)", "post (Mtps)", "post/pre"],
+        [(f"{result.pre_rate / 1e6:.3f}", f"{post / 1e6:.3f}", f"{ratio:.2f}")],
+        note=(
+            "Paper: with the lower load, Pandora restores post-failure "
+            "throughput to its pre-failure level."
+        ),
+    ) + "\n" + format_series(
+        "Fig 12 timeline",
+        result.series,
+        markers=[(FAILOVER_CRASH_AT, "crash")],
+    )
+    write_report("fig12_failover_lowcontention", text)
+    assert 0.8 <= ratio <= 1.25

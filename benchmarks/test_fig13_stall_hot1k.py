@@ -1,0 +1,82 @@
+"""Fig 13 — sensitivity to stalls, high contention (1 000 hot keys).
+
+Paper (§6.4): with a small hot set and transactions that wait for
+recovery of the objects they conflict on, slow (Baseline) recovery
+drives throughput to zero — "the combination of high recovery latency
+and a high conflict rate quickly blocked all coordinators" — while
+Pandora's fast recovery shows only an initial drop and then
+stabilizes.
+
+We crash half the coordinators (one of the two compute nodes) on a
+100%-write microbenchmark confined to a small hot set, and compare
+Pandora (ms recovery) against the Baseline (scan recovery, blocking).
+Hot-set sizes are scaled with the keyspace (100 hot keys here vs the
+paper's 1 000 over a much larger store).
+"""
+
+import pytest
+
+from conftest import FAILOVER_CRASH_AT, micro_factory, series_rate
+from repro.bench.harness import run_failover
+from repro.bench.report import format_series, format_table, write_report
+
+DURATION = 90e-3
+HOT_KEYS = 100
+
+
+def _run():
+    factory = micro_factory(write_ratio=1.0, hot_keys=HOT_KEYS, keys=20_000)
+    fast = run_failover(
+        factory,
+        protocol="pandora",
+        crash_kind="compute",
+        crash_at=FAILOVER_CRASH_AT,
+        duration=DURATION,
+        coordinators_per_node=16,
+    )
+    slow = run_failover(
+        factory,
+        protocol="baseline",
+        crash_kind="compute",
+        crash_at=FAILOVER_CRASH_AT,
+        duration=DURATION,
+        coordinators_per_node=16,
+    )
+    return fast, slow
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_stall_high_contention(benchmark):
+    fast, slow = benchmark.pedantic(_run, rounds=1, iterations=1)
+    # Probe the window after detection while recovery runs.
+    window = (FAILOVER_CRASH_AT + 7e-3, FAILOVER_CRASH_AT + 30e-3)
+    fast_during = series_rate(fast.series, *window)
+    slow_during = series_rate(slow.series, *window)
+    text = format_table(
+        f"Fig 13: fail-over under contention ({HOT_KEYS} hot keys, 100% writes)",
+        ["protocol", "pre (Mtps)", "during recovery (Mtps)", "during/pre"],
+        [
+            ("pandora (fast recovery)", f"{fast.pre_rate / 1e6:.3f}",
+             f"{fast_during / 1e6:.3f}",
+             f"{fast_during / fast.pre_rate:.2f}"),
+            ("baseline (slow recovery)", f"{slow.pre_rate / 1e6:.3f}",
+             f"{slow_during / 1e6:.3f}",
+             f"{slow_during / slow.pre_rate:.2f}"),
+        ],
+        note=(
+            "Paper: slow recovery + high conflict rate drives throughput "
+            "to zero; fast recovery dips then stabilizes."
+        ),
+    )
+    text += "\n" + format_series(
+        "Fig 13 — Pandora", fast.series, markers=[(FAILOVER_CRASH_AT, "crash")]
+    )
+    text += "\n" + format_series(
+        "Fig 13 — Baseline", slow.series, markers=[(FAILOVER_CRASH_AT, "crash")]
+    )
+    write_report("fig13_stall_hot_small", text)
+
+    # Baseline: blocked (stop-the-world scan) -> (near) zero.
+    assert slow_during < 0.1 * slow.pre_rate
+    # Pandora: keeps making progress through recovery.
+    assert fast_during > 0.25 * fast.pre_rate

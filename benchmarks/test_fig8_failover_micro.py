@@ -1,0 +1,27 @@
+"""Fig 8 — microbenchmark fail-over throughput (compute & memory).
+
+Paper: on a compute crash Pandora's throughput "does not drop to zero,
+but drops to about two-thirds of the original throughput"; with the
+failed resources reused, the post-recovery throughput matches the
+pre-failure level (restart < 10 ms after the fault). A memory crash
+briefly stops the whole KVS for reconfiguration, then recovers.
+"""
+
+import pytest
+
+from conftest import micro_factory
+from failover_common import check_failover_shapes, run_failover_figure
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_failover_microbench(benchmark):
+    reuse, no_reuse, memory = benchmark.pedantic(
+        lambda: run_failover_figure(
+            "fig8_failover_micro",
+            "Fig 8: microbenchmark",
+            micro_factory(write_ratio=1.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    check_failover_shapes(reuse, no_reuse, memory)

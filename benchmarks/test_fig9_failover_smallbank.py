@@ -1,0 +1,20 @@
+"""Fig 9 — SmallBank fail-over throughput (compute & memory crashes)."""
+
+import pytest
+
+from conftest import smallbank_factory
+from failover_common import check_failover_shapes, run_failover_figure
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_failover_smallbank(benchmark):
+    reuse, no_reuse, memory = benchmark.pedantic(
+        lambda: run_failover_figure(
+            "fig9_failover_smallbank",
+            "Fig 9: SmallBank",
+            smallbank_factory(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    check_failover_shapes(reuse, no_reuse, memory)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: build a disaggregated KVS, run transactions, survive a crash.
+
+This walks the core loop of the library:
+
+1. Define a workload (here: the paper's microbenchmark).
+2. Build a simulated deployment — memory servers, compute servers with
+   Pandora coordinators, a failure detector, a recovery manager.
+3. Run failure-free traffic, then crash a compute server mid-run and
+   watch Pandora recover in milliseconds without stopping the store.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import MicroBenchmark
+
+
+def main() -> None:
+    # 1. A 100%-write microbenchmark over 10k keys (8B keys, 40B values).
+    workload = MicroBenchmark(num_keys=10_000, write_ratio=1.0)
+
+    # 2. Two memory servers, two compute servers with 8 coordinators
+    #    each, f+1 = 2 replication, Pandora protocol, 5 ms FD timeout.
+    config = ClusterConfig(
+        memory_nodes=2,
+        compute_nodes=2,
+        coordinators_per_node=8,
+        replication_degree=2,
+        protocol="pandora",
+        seed=7,
+    )
+    cluster = Cluster(config, workload)
+    cluster.start()
+
+    # 3. Failure-free warm-up.
+    cluster.run(until=0.010)
+    pre_rate = cluster.timeline.rate_between(0.005, 0.010)
+    print(f"steady-state throughput : {pre_rate / 1e6:.2f} Mtps (simulated)")
+
+    # Crash compute server 0 at t=10 ms; keep running.
+    cluster.crash_compute(0, at=0.010)
+    cluster.run(until=0.040)
+
+    record = cluster.recovery.records[0]
+    print(f"failure detected at     : {record.detected_at * 1e3:.2f} ms "
+          f"(crash at 10.00 ms, 5 ms heartbeat timeout)")
+    print(f"log-recovery latency    : {record.log_recovery_latency * 1e6:.0f} us")
+    print(f"stray txns rolled fwd   : {record.rolled_forward}")
+    print(f"stray txns rolled back  : {record.rolled_back}")
+
+    during = cluster.timeline.rate_between(record.detected_at, record.finished_at + 2e-3)
+    post = cluster.timeline.rate_between(0.030, 0.040)
+    print(f"throughput during recov.: {during / 1e6:.2f} Mtps  "
+          "(never zero: recovery is non-blocking)")
+    print(f"throughput after        : {post / 1e6:.2f} Mtps  "
+          "(one of two compute servers remains)")
+
+    stats = cluster.aggregate_stats()
+    print(f"total commits           : {stats.commits}")
+    print(f"stray locks stolen      : {stats.locks_stolen} (PILL, §3.1.2)")
+
+
+if __name__ == "__main__":
+    main()

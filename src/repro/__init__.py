@@ -1,0 +1,22 @@
+"""repro — reproduction of *Pandora: Fast, Highly Available, and
+Recoverable Transactions on Disaggregated Data Stores* (EDBT 2025).
+
+Public API tour:
+
+* :class:`repro.cluster.Cluster` / :class:`repro.cluster.ClusterConfig`
+  — build and run a simulated DKVS deployment.
+* :mod:`repro.protocol` — the FORD baseline, Pandora (PILL + coalesced
+  logging), and the traditional-logging variant.
+* :mod:`repro.recovery` — failure detectors and the RDMA-based
+  recovery protocol.
+* :mod:`repro.litmus` — the end-to-end litmus-testing framework.
+* :mod:`repro.workloads` — TPC-C, TATP, SmallBank, microbenchmark.
+* :mod:`repro.bench` — harness regenerating every table and figure.
+"""
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.protocol import BugFlags
+
+__version__ = "1.0.0"
+
+__all__ = ["BugFlags", "Cluster", "ClusterConfig", "__version__"]

@@ -1,0 +1,27 @@
+"""Benchmark harness: experiment runners for every table and figure."""
+
+from repro.bench.harness import (
+    FailoverResult,
+    RecoveryLatencyResult,
+    SteadyStateResult,
+    default_config,
+    run_failover,
+    run_mttf,
+    run_recovery_latency,
+    run_steady_state,
+)
+from repro.bench.report import format_series, format_table, write_report
+
+__all__ = [
+    "FailoverResult",
+    "RecoveryLatencyResult",
+    "SteadyStateResult",
+    "default_config",
+    "format_series",
+    "format_table",
+    "run_failover",
+    "run_mttf",
+    "run_recovery_latency",
+    "run_steady_state",
+    "write_report",
+]

@@ -1,0 +1,87 @@
+"""Report formatting: paper-vs-measured tables and timeline series.
+
+Every benchmark writes a plain-text report under ``benchmarks/results/``
+so the regenerated rows/series survive pytest's output capture; the
+same text is printed for ``-s`` runs. EXPERIMENTS.md indexes the
+reports against the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "write_report", "results_dir"]
+
+
+def results_dir() -> str:
+    """benchmarks/results/ next to the benchmark files."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    note: str = "",
+) -> str:
+    """Fixed-width table with a title and an optional footnote."""
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append(
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines) + "\n"
+
+
+def format_series(
+    title: str,
+    series: Sequence[Tuple[float, float]],
+    time_unit: str = "ms",
+    value_unit: str = "tx/s",
+    markers: Sequence[Tuple[float, str]] = (),
+    width: int = 60,
+) -> str:
+    """An ASCII timeline plot (the figures' throughput-over-time)."""
+    if not series:
+        return f"{title}\n(empty series)\n"
+    scale = {"ms": 1e3, "us": 1e6, "s": 1.0}[time_unit]
+    peak = max(value for _t, value in series) or 1.0
+    lines = [title, "=" * len(title)]
+    marker_map = {}
+    for when, label in markers:
+        # Attach each marker to the closest sample.
+        closest = min(range(len(series)), key=lambda i: abs(series[i][0] - when))
+        marker_map.setdefault(closest, []).append(label)
+    for index, (when, value) in enumerate(series):
+        bar = "#" * int(round(width * value / peak))
+        annotation = ""
+        if index in marker_map:
+            annotation = "   <-- " + ", ".join(marker_map[index])
+        lines.append(
+            f"{when * scale:8.2f} {time_unit} |{bar:<{width}}| "
+            f"{value:12.0f} {value_unit}{annotation}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_report(name: str, text: str) -> str:
+    """Persist (and echo) one benchmark's report; returns the path."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    print(f"\n{text}\n[report written to {path}]")
+    return path

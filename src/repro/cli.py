@@ -1,0 +1,204 @@
+"""Command-line interface: run demos, litmus campaigns, and experiments.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro quickstart
+    python -m repro litmus --protocol pandora --crash-probability 0.4
+    python -m repro steady --workload smallbank --protocol tradlog
+    python -m repro failover --workload tpcc --crash memory
+    python -m repro recovery-latency --coordinators 1 8 32 64
+
+Every command prints the same tables/series the benchmark harness
+writes, so the paper's experiments are reproducible without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.bench.harness import (
+    run_failover,
+    run_recovery_latency,
+    run_steady_state,
+)
+from repro.bench.report import format_series, format_table
+from repro.workloads import MicroBenchmark, SmallBank, Tatp, TpcC
+
+__all__ = ["main", "build_parser"]
+
+PROTOCOLS = ("pandora", "baseline", "ford", "tradlog")
+
+
+def _workload_factory(name: str, write_ratio: float) -> Callable:
+    factories: Dict[str, Callable] = {
+        "micro": lambda: MicroBenchmark(num_keys=10_000, write_ratio=write_ratio),
+        "smallbank": lambda: SmallBank(accounts=5_000),
+        "tatp": lambda: Tatp(subscribers=2_000),
+        "tpcc": lambda: TpcC(warehouses=2, customers_per_district=100, items=1_000),
+    }
+    try:
+        return factories[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from {sorted(factories)}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pandora (EDBT 2025) reproduction — simulated DKVS experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickstart", help="run the crash-and-recover demo")
+
+    litmus = sub.add_parser("litmus", help="run the litmus validation suite")
+    litmus.add_argument("--protocol", default="pandora", choices=PROTOCOLS)
+    litmus.add_argument("--rounds", type=int, default=30)
+    litmus.add_argument("--crash-probability", type=float, default=0.4)
+    litmus.add_argument("--seed", type=int, default=5)
+
+    steady = sub.add_parser("steady", help="steady-state throughput")
+    steady.add_argument("--workload", default="micro")
+    steady.add_argument("--protocol", default="pandora", choices=PROTOCOLS)
+    steady.add_argument("--write-ratio", type=float, default=1.0)
+    steady.add_argument("--duration-ms", type=float, default=20.0)
+
+    failover = sub.add_parser("failover", help="crash a node mid-run")
+    failover.add_argument("--workload", default="micro")
+    failover.add_argument("--protocol", default="pandora", choices=PROTOCOLS)
+    failover.add_argument("--crash", default="compute", choices=("compute", "memory"))
+    failover.add_argument("--write-ratio", type=float, default=1.0)
+    failover.add_argument("--reuse", action="store_true",
+                          help="restart the failed compute node (reuse resources)")
+
+    latency = sub.add_parser(
+        "recovery-latency", help="Table 2: recovery latency sweep"
+    )
+    latency.add_argument("--workload", default="micro")
+    latency.add_argument("--protocol", default="pandora", choices=PROTOCOLS)
+    latency.add_argument(
+        "--coordinators", type=int, nargs="+", default=[1, 8, 32, 64]
+    )
+    latency.add_argument("--write-ratio", type=float, default=1.0)
+    return parser
+
+
+def _run_quickstart() -> int:
+    from repro import Cluster, ClusterConfig
+
+    workload = MicroBenchmark(num_keys=10_000, write_ratio=1.0)
+    cluster = Cluster(ClusterConfig(protocol="pandora", seed=7), workload)
+    cluster.start()
+    cluster.run(until=0.010)
+    cluster.crash_compute(0, at=0.010)
+    cluster.run(until=0.040)
+    record = cluster.recovery.records[0]
+    stats = cluster.aggregate_stats()
+    print(
+        format_table(
+            "Quickstart: compute crash at t=10ms under Pandora",
+            ["metric", "value"],
+            [
+                ("detected at", f"{record.detected_at * 1e3:.2f} ms"),
+                ("log-recovery latency", f"{record.log_recovery_latency * 1e6:.0f} us"),
+                ("rolled forward / back", f"{record.rolled_forward} / {record.rolled_back}"),
+                ("commits", stats.commits),
+                ("stray locks stolen", stats.locks_stolen),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_litmus(args) -> int:
+    from repro.litmus import LITMUS_SUITE, LitmusRunner
+
+    failed = 0
+    for spec in LITMUS_SUITE():
+        report = LitmusRunner(
+            spec,
+            protocol=args.protocol,
+            rounds=args.rounds,
+            crash_probability=args.crash_probability,
+            seed=args.seed,
+        ).run()
+        print(report.summary())
+        if not report.passed:
+            failed += 1
+            for violation in report.violations[:3]:
+                print(f"    {violation.description}")
+    return 1 if failed else 0
+
+
+def _cmd_steady(args) -> int:
+    factory = _workload_factory(args.workload, args.write_ratio)
+    result = run_steady_state(
+        factory, args.protocol, duration=args.duration_ms * 1e-3
+    )
+    print(result.row())
+    return 0
+
+
+def _cmd_failover(args) -> int:
+    factory = _workload_factory(args.workload, args.write_ratio)
+    result = run_failover(
+        factory,
+        args.protocol,
+        crash_kind=args.crash,
+        reuse_resources=args.reuse,
+    )
+    print(
+        format_series(
+            f"fail-over timeline ({args.workload}, {args.protocol}, "
+            f"{args.crash} crash{', reuse' if args.reuse else ''})",
+            result.series,
+            markers=[(result.crash_at, "crash")],
+        )
+    )
+    print(
+        f"pre={result.pre_rate / 1e6:.3f} Mtps  "
+        f"during={result.during_rate / 1e6:.3f}  "
+        f"post={result.post_rate / 1e6:.3f}"
+    )
+    return 0
+
+
+def _cmd_recovery_latency(args) -> int:
+    factory = _workload_factory(args.workload, args.write_ratio)
+    rows = []
+    for coordinators in args.coordinators:
+        result = run_recovery_latency(
+            factory,
+            coordinators_per_node=coordinators,
+            protocol=args.protocol,
+            crash_at=6e-3,
+        )
+        rows.append((coordinators, f"{result.latency * 1e6:9.1f}"))
+    print(
+        format_table(
+            f"log-recovery latency ({args.workload}, {args.protocol})",
+            ["coordinators/node", "latency (us)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "quickstart": lambda a: _run_quickstart(),
+        "litmus": _cmd_litmus,
+        "steady": _cmd_steady,
+        "failover": _cmd_failover,
+        "recovery-latency": _cmd_recovery_latency,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

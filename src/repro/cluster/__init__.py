@@ -1,0 +1,7 @@
+"""Cluster wiring: compute nodes, configuration, and the builder."""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.node import ComputeNode
+from repro.cluster.builder import Cluster
+
+__all__ = ["Cluster", "ClusterConfig", "ComputeNode"]

@@ -1,0 +1,342 @@
+"""Builds and runs a complete simulated DKVS deployment.
+
+The :class:`Cluster` wires together every substrate: the simulation
+kernel, the RDMA fabric, memory servers, the catalog/placement
+metadata, compute servers with their coordinators, the failure
+detector, the recovery manager, and the fault injector. It is the
+single entry point the examples, tests, and the benchmark harness use.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.node import ComputeNode
+from repro.faults.injector import FaultInjector
+from repro.kvs.catalog import Catalog
+from repro.kvs.placement import Placement
+from repro.memory.node import MemoryNode
+from repro.protocol.coordinator import Coordinator, CoordinatorConfig, CoordinatorStats
+from repro.protocol.ford import ford_factory
+from repro.protocol.pandora import pandora_factory
+from repro.protocol.tradlog import tradlog_factory
+from repro.protocol.types import BugFlags
+from repro.rdma.network import Network
+from repro.rdma.verbs import Verbs
+from repro.recovery.distributed_fd import DistributedFailureDetector
+from repro.recovery.failure_detector import FailureDetector
+from repro.recovery.idalloc import IdAllocator
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.recycler import IdRecycler
+from repro.sim import Simulator
+from repro.util.stats import ThroughputTimeline
+
+__all__ = ["Cluster"]
+
+# The recovery server borrows a compute identity that no memory node
+# will ever revoke (it is not a transaction coordinator host).
+RECOVERY_SERVER_ID = 10_000
+
+
+class Cluster:
+    """A fully wired simulated deployment."""
+
+    def __init__(self, config: ClusterConfig, workload) -> None:
+        config.validate()
+        self.config = config
+        self.workload = workload
+        self.sim = Simulator()
+        self.rng = random.Random(config.seed)
+        self.network = Network(config.network, random.Random(config.seed + 1))
+
+        # Memory servers.
+        self.memory_nodes: Dict[int, MemoryNode] = {
+            node_id: MemoryNode(node_id) for node_id in range(config.memory_nodes)
+        }
+
+        # Shared metadata.
+        self.placement = Placement(
+            list(self.memory_nodes),
+            replication_degree=config.replication_degree,
+            partitions=config.partitions,
+        )
+        self.catalog = Catalog(self.placement)
+
+        # Schema + data load (setup path, no simulated traffic).
+        workload.create_schema(self.catalog)
+        self.catalog.provision(self.memory_nodes.values())
+        workload.load(self.catalog, self.memory_nodes, random.Random(config.seed + 2))
+
+        # Fault injection.
+        self.injector = FaultInjector(self.sim, random.Random(config.seed + 3))
+
+        # Failure detector (+ coordinator-id allocation).
+        self.id_allocator = IdAllocator()
+        if config.distributed_fd:
+            self.fd: FailureDetector = DistributedFailureDetector(
+                self.sim,
+                self.id_allocator,
+                timeout=config.fd_timeout,
+                check_interval=config.fd_check_interval,
+                replicas=config.fd_replicas,
+                agreement_delay=config.fd_agreement_delay,
+            )
+        else:
+            self.fd = FailureDetector(
+                self.sim,
+                self.id_allocator,
+                timeout=config.fd_timeout,
+                check_interval=config.fd_check_interval,
+            )
+
+        # Recovery manager with its own verbs (dedicated server).
+        recovery_verbs = Verbs(
+            self.sim, RECOVERY_SERVER_ID, self.network, self.memory_nodes
+        )
+        self.recovery = RecoveryManager(
+            self.sim,
+            recovery_verbs,
+            self.catalog,
+            self.network,
+            compute_nodes={},  # filled below
+            memory_nodes=self.memory_nodes,
+            id_allocator=self.id_allocator,
+            mode=config.recovery_mode,
+            drain_delay=config.drain_delay,
+            reconfig_delay=config.reconfig_delay,
+            scan_chunk_slots=config.scan_chunk_slots,
+            restart_hook=self.restart_compute,
+            restart_after=config.restart_failed_after,
+        )
+        self.fd.recovery_manager = self.recovery
+        self.recycler = IdRecycler(
+            self.sim,
+            recovery_verbs,
+            self.catalog,
+            self.network,
+            memory_nodes=self.memory_nodes,
+            compute_nodes={},  # filled below, shared with recovery
+            id_allocator=self.id_allocator,
+            scan_chunk_slots=config.scan_chunk_slots,
+        )
+
+        # Compute servers + coordinators.
+        self.compute_nodes: Dict[int, ComputeNode] = {}
+        for node_id in range(config.compute_nodes):
+            verbs = Verbs(self.sim, node_id, self.network, self.memory_nodes)
+            node = ComputeNode(
+                self.sim, node_id, verbs, self.catalog, faults=self.injector
+            )
+            self.compute_nodes[node_id] = node
+            self._spawn_coordinators(node)
+        self.recovery.compute_nodes = self.compute_nodes
+        self.recycler.compute_nodes = self.compute_nodes
+
+        # Measurement.
+        self.timeline = ThroughputTimeline(window=config.throughput_window)
+        self._started = False
+        self._run_coordinator_loops = True
+        self._retired_stats = CoordinatorStats()
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _engine_factory(self):
+        config = self.config
+        if config.protocol == "pandora":
+            return pandora_factory(config.bugs)
+        if config.protocol == "tradlog":
+            return tradlog_factory(config.bugs)
+        if config.protocol == "ford":
+            bugs = config.bugs if config.bugs is not None else BugFlags.published()
+            return ford_factory(bugs)
+        # 'baseline': FORD online component with the bugs fixed, scan
+        # recovery — the comparison system of §4.1.
+        bugs = config.bugs if config.bugs is not None else BugFlags.fixed()
+        return ford_factory(bugs)
+
+    def _coordinator_config(self) -> CoordinatorConfig:
+        config = self.config
+        return CoordinatorConfig(
+            max_attempts=config.max_attempts,
+            backoff_base=config.backoff_base,
+            backoff_cap=config.backoff_cap,
+            abandon_on_conflict=config.abandon_on_conflict,
+            nvm_flush=(config.persistence == "nvm-flush"),
+            warm_address_cache=config.warm_address_cache,
+        )
+
+    def _spawn_coordinators(self, node: ComputeNode) -> None:
+        factory = self._engine_factory()
+        for _ in range(self.config.coordinators_per_node):
+            coord_id = self.fd.allocate_coordinator_id()
+            coordinator = Coordinator(
+                node,
+                coord_id,
+                factory,
+                self.workload,
+                random.Random((self.config.seed << 20) ^ (coord_id * 2654435761)),
+                self._coordinator_config(),
+            )
+            node.add_coordinator(coordinator)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self, run_coordinators: bool = True) -> None:
+        """Start heartbeats, the detector, and every coordinator.
+
+        ``run_coordinators=False`` starts only the failure-detection
+        and recovery machinery; callers (e.g. the litmus runner) then
+        drive individual transactions through the coordinators.
+        """
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+        self._run_coordinator_loops = run_coordinators
+        sinks = self.fd.heartbeat_sinks()
+        for node in self.compute_nodes.values():
+            self.fd.register("compute", node)
+            node.start_heartbeats(
+                self.network, sinks, self.config.fd_heartbeat_interval
+            )
+            if run_coordinators:
+                node.start_coordinators(on_commit=self.timeline.record)
+        for memory in self.memory_nodes.values():
+            self.fd.register("memory", memory)
+            self._start_memory_heartbeats(memory, sinks)
+        self.fd.start()
+        self._start_recycler_watch()
+
+    def _start_recycler_watch(self) -> None:
+        """Trigger the id-recycling scan past 95% id consumption
+        (§3.1.2) — the FD's contingency for long-running systems."""
+
+        def watch():
+            active = None
+            while True:
+                yield self.sim.timeout(5e-3)
+                done = active is None or active.triggered
+                if done and self.id_allocator.needs_recycling:
+                    active = self.recycler.run_once()
+
+        self.sim.process(watch(), name="recycler-watch")
+
+    def _start_memory_heartbeats(self, memory: MemoryNode, sinks) -> None:
+        interval = self.config.fd_heartbeat_interval
+
+        def loop():
+            while memory.alive:
+                sent_at = self.sim.now
+                for sink in sinks:
+                    delay = self.network.delay(64)
+                    self.sim.call_at(
+                        self.sim.now + delay,
+                        lambda s=sink, t=sent_at: s("memory", memory.node_id, t),
+                    )
+                yield self.sim.timeout(interval)
+
+        self.sim.process(loop(), name=f"heartbeat-m{memory.node_id}")
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute virtual time *until*."""
+        self.sim.run(until=until)
+
+    # -- failures & restarts ----------------------------------------------------------------
+
+    def crash_compute(self, node_id: int, at: Optional[float] = None) -> None:
+        """Crash a compute server now or at a future time."""
+        node = self.compute_nodes[node_id]
+        if at is None:
+            node.crash()
+        else:
+            self.injector.crash_at(node, at)
+
+    def crash_memory(self, node_id: int, at: Optional[float] = None) -> None:
+        """Crash a memory server now or at a future time."""
+        node = self.memory_nodes[node_id]
+        if at is None:
+            node.crash()
+        else:
+            self.sim.call_at(at, node.crash)
+
+    def restore_memory(self, node_id: int) -> None:
+        """Re-add a failed memory server (stop-the-world
+        re-replication, §3.2.5)."""
+        node = self.memory_nodes[node_id]
+        process = self.recovery.restore_memory_node(node)
+        if process is None or not self._started:
+            return
+
+        def rejoin(_event) -> None:
+            # Heartbeats and FD tracking resume only once the node is
+            # actually serving again, else it is immediately
+            # re-suspected.
+            if node.alive:
+                self.fd.register("memory", node)
+                self._start_memory_heartbeats(node, self.fd.heartbeat_sinks())
+
+        process.add_callback(rejoin)
+
+    def restart_compute(self, node: ComputeNode) -> None:
+        """Bring a crashed compute node back with fresh coordinators.
+
+        The node re-joins with *new* coordinator ids (its old ids stay
+        failed forever, §3.1.2) and re-established, un-revoked links.
+        """
+        if node.alive:
+            return
+        if ("compute", node.node_id) in self.recovery._in_progress:
+            # Recovery is mid-flight for this node; restarting now
+            # would race link revocation against the new QPs. Defer.
+            self.sim.call_at(
+                self.sim.now + 0.5e-3, lambda n=node: self.restart_compute(n)
+            )
+            return
+        for coordinator in node.coordinators:
+            self._retired_stats.merge(coordinator.stats)
+        for memory in self.memory_nodes.values():
+            memory._op_ctrl_unrevoke(RECOVERY_SERVER_ID, (node.node_id,))
+        node.alive = True
+        node.fenced = False
+        node.paused = False
+        node.coordinators = []
+        # §3.1.2: the FD's initial configuration includes the complete
+        # failed-ids list — failures that happened while this node was
+        # down must be visible to its fresh coordinators.
+        node.failed_ids.update_from(self.id_allocator.failed)
+        self._spawn_coordinators(node)
+        if self._started:
+            sinks = self.fd.heartbeat_sinks()
+            self.fd.register("compute", node)
+            node.start_heartbeats(
+                self.network, sinks, self.config.fd_heartbeat_interval
+            )
+            if self._run_coordinator_loops:
+                node.start_coordinators(on_commit=self.timeline.record)
+
+    # -- reporting ----------------------------------------------------------------------------
+
+    def aggregate_stats(self) -> CoordinatorStats:
+        """Merged coordinator statistics (incl. retired ones)."""
+        total = CoordinatorStats()
+        total.merge(self._retired_stats)
+        for node in self.compute_nodes.values():
+            for coordinator in node.coordinators:
+                total.merge(coordinator.stats)
+        return total
+
+    def live_coordinator_count(self) -> int:
+        """Coordinators on currently alive nodes."""
+        return sum(
+            len(node.coordinators)
+            for node in self.compute_nodes.values()
+            if node.alive
+        )
+
+    def all_coordinators(self) -> List[Coordinator]:
+        """Every coordinator on every compute node."""
+        coordinators = []
+        for node in self.compute_nodes.values():
+            coordinators.extend(node.coordinators)
+        return coordinators

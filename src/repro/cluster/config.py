@@ -1,0 +1,110 @@
+"""Cluster configuration: one dataclass describing a whole deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.protocol.types import BugFlags
+from repro.rdma.network import NetworkConfig
+
+__all__ = ["ClusterConfig"]
+
+_PROTOCOLS = ("pandora", "ford", "baseline", "tradlog")
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to build a simulated DKVS deployment.
+
+    Defaults mirror the paper's testbed topology scaled for
+    simulation: 2 memory + 2 compute nodes, a separate failure-detector
+    / recovery server, and f+1 = 2 replication.
+    """
+
+    # Topology.
+    memory_nodes: int = 2
+    compute_nodes: int = 2
+    coordinators_per_node: int = 8
+    replication_degree: int = 2
+    partitions: int = 64
+
+    # Protocol: 'pandora', 'ford' (published bugs), 'baseline'
+    # (FORD online component, bugs fixed, scan recovery), 'tradlog'.
+    protocol: str = "pandora"
+    bugs: Optional[BugFlags] = None
+
+    # Persistence (§7): 'dram' assumes battery-backed DRAM (no flush on
+    # the critical path); 'nvm-flush' models FORD's selective one-sided
+    # flush — a small read chasing the commit writes on each touched
+    # memory node to flush the RNIC cache into NVM before the ack.
+    persistence: str = "dram"
+
+    # Networking.
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+
+    # Failure detection.
+    fd_timeout: float = 5e-3
+    fd_heartbeat_interval: float = 1e-3
+    fd_check_interval: float = 0.5e-3
+    distributed_fd: bool = False
+    fd_replicas: int = 3
+    fd_agreement_delay: float = 2e-3
+
+    # Recovery.
+    drain_delay: float = 0.5e-3
+    reconfig_delay: float = 2e-3
+    scan_chunk_slots: int = 512
+    # Reuse freed resources: restart a crashed compute node this long
+    # after recovery completes (None = never, the "no reuse" curve).
+    restart_failed_after: Optional[float] = None
+
+    # Coordinator retry policy.
+    max_attempts: int = 64
+    backoff_base: float = 2e-6
+    backoff_cap: float = 100e-6
+    abandon_on_conflict: bool = False
+
+    # FORD-style compute-side address cache. True (default) models the
+    # measured steady state (warm cache, exact addresses known); False
+    # charges an extra hash-index probe read on each coordinator's
+    # first access to an object.
+    warm_address_cache: bool = True
+
+    # Determinism.
+    seed: int = 42
+
+    # Measurement.
+    throughput_window: float = 1e-3
+
+    def validate(self) -> None:
+        if self.protocol not in _PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; expected one of {_PROTOCOLS}"
+            )
+        if self.memory_nodes < 1:
+            raise ValueError("need at least one memory node")
+        if self.compute_nodes < 1:
+            raise ValueError("need at least one compute node")
+        if self.coordinators_per_node < 1:
+            raise ValueError("need at least one coordinator per node")
+        if not 1 <= self.replication_degree <= self.memory_nodes:
+            raise ValueError(
+                f"replication degree {self.replication_degree} must be in "
+                f"[1, {self.memory_nodes}]"
+            )
+        if self.fd_timeout <= 0:
+            raise ValueError("fd_timeout must be positive")
+        if self.persistence not in ("dram", "nvm-flush"):
+            raise ValueError(
+                f"unknown persistence mode {self.persistence!r}; "
+                "expected 'dram' or 'nvm-flush'"
+            )
+
+    @property
+    def recovery_mode(self) -> str:
+        if self.protocol == "pandora":
+            return "pill"
+        if self.protocol == "tradlog":
+            return "locklog"
+        return "scan"

@@ -1,0 +1,6 @@
+"""Failure injection: crash schedules, crash points, MTTF processes."""
+
+from repro.faults.injector import CrashPlan, FaultInjector
+from repro.faults.mttf import MttfProcess
+
+__all__ = ["CrashPlan", "FaultInjector", "MttfProcess"]

@@ -1,0 +1,70 @@
+"""Mean-time-to-failure crash/restore process (Fig 7, §6.2).
+
+The PILL-under-failures experiment repeatedly stops half of the
+coordinators and brings them back, sweeping the MTTF down to 1 s. This
+process crashes a target compute node every ``mttf`` seconds (with
+exponential jitter) and restores it ``repair_time`` later, using the
+cluster's restart hook so the revived node gets *fresh* coordinator
+ids — its old ids stay in every failed-ids bitset, which is what makes
+lock stealing observable at low MTTF.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Generator
+
+from repro.sim import Event, Simulator
+
+__all__ = ["MttfProcess"]
+
+
+class MttfProcess:
+    """Periodically crash and restore one compute node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node,
+        restart: Callable[[Any], None],
+        mttf: float,
+        repair_time: float = 2e-3,
+        rng: random.Random = None,
+        jitter: bool = True,
+    ) -> None:
+        if mttf <= 0:
+            raise ValueError("mttf must be positive")
+        if repair_time < 0:
+            raise ValueError("repair_time must be non-negative")
+        self.sim = sim
+        self.node = node
+        self.restart = restart
+        self.mttf = mttf
+        self.repair_time = repair_time
+        self.rng = rng or random.Random(0)
+        self.jitter = jitter
+        self.crash_count = 0
+        self.process = None
+
+    def start(self) -> None:
+        self.process = self.sim.process(self._run(), name=f"mttf-{self.node.node_id}")
+
+    def stop(self) -> None:
+        if self.process is not None:
+            self.process.kill()
+            self.process = None
+
+    def _next_gap(self) -> float:
+        if self.jitter:
+            # Exponential inter-failure times with the requested mean.
+            return self.rng.expovariate(1.0 / self.mttf)
+        return self.mttf
+
+    def _run(self) -> Generator[Event, Any, None]:
+        while True:
+            yield self.sim.timeout(max(self._next_gap(), 1e-4))
+            if self.node.alive:
+                self.node.crash()
+                self.crash_count += 1
+            yield self.sim.timeout(self.repair_time)
+            self.restart(self.node)

@@ -1,0 +1,6 @@
+"""Data layout: tables, key addressing, replica placement."""
+
+from repro.kvs.catalog import Catalog, TableSpec
+from repro.kvs.placement import ConsistentHashRing, Placement
+
+__all__ = ["Catalog", "ConsistentHashRing", "Placement", "TableSpec"]

@@ -1,0 +1,96 @@
+"""Serializability checking over committed-transaction footprints.
+
+A complement to the application-observable litmus assertions: given the
+read/write version footprints of committed transactions (collected via
+``Coordinator.history_sink``), build the direct serialization graph and
+check it for cycles.
+
+Edges follow Adya's dependency taxonomy:
+
+* **wr** (reads-from): T2 read the version T1 installed → T1 → T2.
+* **ww** (version order): versions of an object are installed in
+  increasing order → writer of v → writer of v' for v < v'.
+* **rw** (anti-dependency): T1 read version v and T2 installed v+1 →
+  T1 → T2.
+
+A cycle means the committed transactions admit no serial order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+__all__ = ["SerializabilityChecker", "check_history"]
+
+# History element layout (what Coordinator.on_commit_ack records):
+# (txn_id, commit_time, reads, rmw_reads, writes)
+# where reads / rmw_reads map (table, slot) -> version observed, and
+# writes maps (table, slot) -> version installed.
+HistoryEntry = Tuple[int, float, Dict, Dict, Dict]
+
+
+class SerializabilityChecker:
+    """Builds and analyses the direct serialization graph."""
+
+    def __init__(self, history: Iterable[HistoryEntry]) -> None:
+        self.history = list(history)
+        self.graph = nx.DiGraph()
+        self._build()
+
+    def _build(self) -> None:
+        # Writers by (object, installed version).
+        installer: Dict[Tuple, int] = {}
+        # All installed versions per object, with their writers.
+        versions: Dict[Tuple, List[Tuple[int, int]]] = {}
+        for txn_id, _time, _reads, _rmw, writes in self.history:
+            self.graph.add_node(txn_id)
+            for address, version in writes.items():
+                installer[(address, version)] = txn_id
+                versions.setdefault(address, []).append((version, txn_id))
+
+        # ww edges: install order per object.
+        for address, installed in versions.items():
+            installed.sort()
+            for (v1, t1), (v2, t2) in zip(installed, installed[1:]):
+                if t1 != t2:
+                    self.graph.add_edge(t1, t2, kind="ww")
+
+        # wr and rw edges.
+        for txn_id, _time, reads, rmw_reads, _writes in self.history:
+            observed = dict(reads)
+            observed.update(rmw_reads)
+            for address, version in observed.items():
+                writer = installer.get((address, version))
+                if writer is not None and writer != txn_id:
+                    self.graph.add_edge(writer, txn_id, kind="wr")
+                # Anti-dependency to the *next* installed version.
+                for installed_version, next_writer in versions.get(address, ()):
+                    if installed_version > version:
+                        if next_writer != txn_id:
+                            self.graph.add_edge(txn_id, next_writer, kind="rw")
+                        break
+
+    def is_serializable(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.graph)
+
+    def find_cycle(self) -> List[Tuple[int, int]]:
+        """A witness cycle (edge list), or [] when serializable."""
+        try:
+            return [
+                (u, v) for u, v, _dir in nx.find_cycle(self.graph, orientation="original")
+            ]
+        except nx.NetworkXNoCycle:
+            return []
+
+    def serial_order(self) -> List[int]:
+        """A valid serial order of the committed transactions."""
+        if not self.is_serializable():
+            raise ValueError("history is not serializable")
+        return list(nx.topological_sort(self.graph))
+
+
+def check_history(history: Iterable[HistoryEntry]) -> bool:
+    """True iff the committed history is serializable."""
+    return SerializabilityChecker(history).is_serializable()

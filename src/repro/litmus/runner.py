@@ -1,0 +1,337 @@
+"""The litmus runner: rounds of concurrent litmus transactions with
+random crash injection, recovery, and post-state assertions (§5).
+
+Each round uses a *fresh* set of keys (no cross-round interference),
+launches every writer of the spec from coordinators spread across the
+compute nodes, optionally crashes one compute node at a random protocol
+step, waits for detection + recovery to finish, restarts the node, and
+finally runs a read-only assertion transaction over the round's keys.
+
+Violations of the spec's application-observable assertion are recorded
+with the round's seed and crash location so they replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.builder import Cluster
+from repro.cluster.config import ClusterConfig
+from repro.faults.injector import CrashPlan
+from repro.kvs.catalog import TableSpec
+from repro.litmus.specs import ABSENT, LitmusSpec
+from repro.protocol.types import BugFlags
+from repro.workloads.base import Workload
+
+__all__ = ["LitmusReport", "LitmusRunner"]
+
+# Protocol steps at which the injector may kill the victim node.
+CRASH_POINTS = [
+    "lock_posted",
+    "locked",
+    "execution_done",
+    "locks_held",
+    "log_posted",
+    "decision",
+    "commit_posted",
+    "applied",
+    "unlocked",
+    "abort_unlocked",
+]
+
+
+@dataclass
+class Violation:
+    round_index: int
+    values: Dict[str, Any]
+    crash_point: Optional[str]
+    description: str
+
+
+@dataclass
+class LitmusReport:
+    """Outcome of a litmus campaign."""
+
+    spec_name: str
+    protocol: str
+    rounds: int = 0
+    crashes_injected: int = 0
+    commits: int = 0
+    aborts: int = 0
+    unknown: int = 0  # transactions on crashed coordinators
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else f"FAIL ({len(self.violations)} violations)"
+        return (
+            f"{self.spec_name:18s} {self.protocol:10s} rounds={self.rounds:4d} "
+            f"crashes={self.crashes_injected:4d} commits={self.commits:5d} "
+            f"aborts={self.aborts:4d} unknown={self.unknown:3d}  {status}"
+        )
+
+
+class _LitmusWorkload(Workload):
+    """Pre-provisions one table with every round's keys."""
+
+    name = "litmus"
+
+    def __init__(self, spec: LitmusSpec, rounds: int) -> None:
+        self.spec = spec
+        self.rounds = rounds
+
+    def create_schema(self, catalog) -> None:
+        catalog.add_table(
+            TableSpec(
+                table_id=0,
+                name="lit",
+                max_keys=self.rounds * len(self.spec.keys) + 8,
+                value_size=8,
+            )
+        )
+
+    def load(self, catalog, memory_nodes, rng) -> None:
+        table_id = 0
+        for round_index in range(self.rounds):
+            for key_name in self.spec.keys:
+                key = self._key(round_index, key_name)
+                initial = self.spec.initial[key_name]
+                slot = catalog.slot_for(table_id, key)
+                if initial is ABSENT:
+                    continue  # slot registered, object absent
+                for node_id in catalog.replicas(table_id, slot):
+                    memory_nodes[node_id].load_slot(table_id, slot, initial)
+
+    @staticmethod
+    def _key(round_index: int, key_name: str) -> str:
+        return f"r{round_index}-{key_name}"
+
+    def next_transaction(self, rng):  # pragma: no cover - runner-driven
+        raise RuntimeError("litmus coordinators are driven by the runner")
+
+
+class LitmusRunner:
+    """Runs one spec against one protocol configuration."""
+
+    def __init__(
+        self,
+        spec: LitmusSpec,
+        protocol: str = "pandora",
+        bugs: Optional[BugFlags] = None,
+        rounds: int = 50,
+        crash_probability: float = 0.0,
+        seed: int = 0,
+        compute_nodes: int = 2,
+        coordinators_per_node: int = 4,
+        jitter: float = 0.4e-6,
+        copies: int = 2,
+        max_start_offset: float = 8e-6,
+        crash_points: Optional[List[str]] = None,
+        retry_writers: bool = True,
+    ) -> None:
+        self.spec = spec
+        # One-shot writers match Figure 5 exactly (each litmus txn runs
+        # once); retried writers add interleaving diversity.
+        self.retry_writers = retry_writers
+        self.rounds = rounds
+        self.copies = copies
+        self.max_start_offset = max_start_offset
+        self.crash_points = crash_points if crash_points is not None else CRASH_POINTS
+        self.crash_probability = crash_probability
+        self.rng = random.Random(seed)
+        self.workload = _LitmusWorkload(spec, rounds)
+        config = ClusterConfig(
+            memory_nodes=2,
+            compute_nodes=compute_nodes,
+            coordinators_per_node=coordinators_per_node,
+            replication_degree=2,
+            protocol=protocol,
+            bugs=bugs,
+            seed=seed,
+            # Short detection so rounds stay compact; the detection
+            # delay itself is not what litmus validates.
+            fd_timeout=0.5e-3,
+            fd_heartbeat_interval=0.1e-3,
+            fd_check_interval=0.05e-3,
+            drain_delay=0.2e-3,
+            abandon_on_conflict=not retry_writers,
+        )
+        config.network.jitter = jitter
+        self.cluster = Cluster(config, self.workload)
+        self.report = LitmusReport(spec_name=spec.name, protocol=protocol)
+        # (round_index, keymap, outcomes) for the final sweep.
+        self._completed_rounds: List = []
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self) -> LitmusReport:
+        self.cluster.start(run_coordinators=False)
+        for round_index in range(self.rounds):
+            self._run_round(round_index)
+        self._final_sweep()
+        return self.report
+
+    def _final_sweep(self) -> None:
+        """Re-verify every round's assertion at campaign end.
+
+        Recovery after a *later* crash can corrupt an *earlier* round's
+        keys (e.g. FORD's lost-decision bug rolls back a committed
+        write long after that round's assertion passed). The sweep
+        catches such retroactive corruption.
+        """
+        for round_index, keymap, outcomes in self._completed_rounds:
+            values = self._read_assertion_state(keymap)
+            if values is None:
+                continue
+            if not self.spec.check(values, outcomes):
+                violation = Violation(
+                    round_index=round_index,
+                    values=values,
+                    crash_point="post-hoc (final sweep)",
+                    description=self.spec.describe_violation(values),
+                )
+                already = any(
+                    existing.round_index == round_index
+                    for existing in self.report.violations
+                )
+                if not already:
+                    self.report.violations.append(violation)
+
+    def _live_coordinators(self) -> List:
+        coordinators = []
+        for node in self.cluster.compute_nodes.values():
+            if node.alive:
+                coordinators.extend(node.coordinators)
+        return coordinators
+
+    def _run_round(self, round_index: int) -> None:
+        sim = self.cluster.sim
+        spec = self.spec
+        keymap = {
+            name: _LitmusWorkload._key(round_index, name) for name in spec.keys
+        }
+
+        coordinators = self._live_coordinators()
+        if not coordinators:
+            raise RuntimeError("no live coordinators left for litmus round")
+        self.rng.shuffle(coordinators)
+
+        crash_point: Optional[str] = None
+        victim = None
+        if self.crash_probability and self.rng.random() < self.crash_probability:
+            crash_point = self.rng.choice(self.crash_points)
+            victim = self.cluster.compute_nodes[
+                self.rng.randrange(len(self.cluster.compute_nodes))
+            ]
+            if victim.alive:
+                self.cluster.injector.add_plan(
+                    CrashPlan(
+                        node_id=victim.node_id,
+                        point=crash_point,
+                        nth=self.rng.randint(1, 3),
+                    )
+                )
+                self.report.crashes_injected += 1
+
+        # Launch every writer (x copies) from distinct coordinators,
+        # with small random start offsets to diversify interleavings.
+        processes = []
+        launch_specs = [
+            (index, writer)
+            for writer in spec.writers
+            for index in range(self.copies)
+        ]
+        # Mix tight (sub-RTT) and loose start offsets across rounds so
+        # both racy and pipelined interleavings get exercised.
+        offset_scale = self.rng.choice([0.0, 0.5e-6, 2e-6, self.max_start_offset])
+        for launch_index, (_copy, writer) in enumerate(launch_specs):
+            coordinator = coordinators[launch_index % len(coordinators)]
+            logic = writer(keymap)
+            offset = self.rng.random() * offset_scale
+
+            def delayed(coordinator=coordinator, logic=logic, offset=offset):
+                yield sim.timeout(offset)
+                outcome = yield from coordinator.run_transaction(logic)
+                return outcome
+
+            process = sim.process(
+                delayed(), name=f"lit-{round_index}-{launch_index}"
+            )
+            coordinator.process = process  # so node.crash() kills it
+            processes.append(process)
+
+        # Let the round and any recovery complete.
+        deadline = sim.now + 50e-3
+        while sim.now < deadline:
+            sim.run(until=min(deadline, sim.now + 1e-3))
+            settled = all(process.triggered for process in processes)
+            recovering = bool(self.cluster.recovery._in_progress)
+            if settled and not recovering:
+                break
+        # Margin for notification deliveries still in flight.
+        sim.run(until=sim.now + 0.5e-3)
+
+        outcomes = []
+        for process in processes:
+            try:
+                outcome = process.value
+            except Exception:  # noqa: BLE001 - killed/crashed txns
+                outcomes.append(None)
+                self.report.unknown += 1
+                continue
+            outcomes.append(outcome)
+            if outcome.committed:
+                self.report.commits += 1
+            else:
+                self.report.aborts += 1
+
+        if victim is not None:
+            self.cluster.injector.clear(victim.node_id)
+            if not victim.alive:
+                self.cluster.restart_compute(victim)
+                sim.run(until=sim.now + 0.5e-3)
+
+        values = self._read_assertion_state(keymap)
+        self.report.rounds += 1
+        self._completed_rounds.append((round_index, keymap, outcomes))
+        if values is not None and not spec.check(values, outcomes):
+            self.report.violations.append(
+                Violation(
+                    round_index=round_index,
+                    values=values,
+                    crash_point=crash_point,
+                    description=spec.describe_violation(values),
+                )
+            )
+
+    def _read_assertion_state(self, keymap: Dict[str, str]) -> Optional[Dict]:
+        """Run the spec's read-only assertion transaction."""
+        sim = self.cluster.sim
+        key_names = list(keymap)
+
+        def assertion_logic(tx):
+            values = {}
+            for name in key_names:
+                values[name] = yield from tx.read("lit", keymap[name])
+            return values
+
+        candidates = self._live_coordinators() * 2  # two passes
+        for coordinator in candidates:
+            process = sim.process(
+                coordinator.run_transaction(assertion_logic), name="lit-assert"
+            )
+            coordinator.process = process
+            sim.run(until=sim.now + 5e-3)
+            if process.triggered:
+                try:
+                    outcome = process.value
+                except Exception:  # noqa: BLE001
+                    continue
+                if outcome.committed:
+                    return outcome.value
+        return None

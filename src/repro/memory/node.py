@@ -1,0 +1,360 @@
+"""The memory server: passive storage accessed through one-sided verbs.
+
+A memory node holds object slots (lock word, version, payload) for each
+table partition it hosts, plus one bounded log region per registered
+coordinator (§3.1.4: all of a coordinator's undo logs live in the same
+f+1 memory servers). It applies verbs atomically at message arrival and
+runs **no transactional logic** — the only CPU it has is a wimpy core
+for the control plane (connection setup and active-link termination,
+§3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["ObjectSlot", "LogRecord", "LogRegion", "MemoryNode", "OBJECT_HEADER_BYTES"]
+
+# Lock word (8B) + version (8B) = per-object metadata read alongside values.
+OBJECT_HEADER_BYTES = 16
+
+# Fixed per-record log overhead (ids, lengths) plus per-entry metadata.
+LOG_RECORD_HEADER_BYTES = 40
+LOG_ENTRY_HEADER_BYTES = 32
+
+# Each coordinator is allocated 32 KiB of log space per log server (§3.2.2).
+LOG_REGION_CAPACITY_BYTES = 32 * 1024
+
+
+class ObjectSlot:
+    """One object's in-memory representation on a memory server."""
+
+    __slots__ = ("lock", "version", "value", "present", "value_size")
+
+    def __init__(self, value: Any = None, value_size: int = 8, present: bool = False) -> None:
+        self.lock = 0
+        self.version = 0
+        self.value = value
+        self.present = present
+        self.value_size = value_size
+
+    def header(self) -> Tuple[int, int, bool]:
+        """The 16-byte header: (lock word, version, present)."""
+        return (self.lock, self.version, self.present)
+
+    def snapshot(self) -> Tuple[int, int, bool, Any]:
+        """Full object image: (lock, version, present, value)."""
+        return (self.lock, self.version, self.present, self.value)
+
+    @property
+    def slot_bytes(self) -> int:
+        """Wire size of the slot (header + value)."""
+        return OBJECT_HEADER_BYTES + self.value_size
+
+
+@dataclass
+class LogRecord:
+    """A coalesced undo-log record for one transaction.
+
+    ``entries`` is a sequence of tuples
+    ``(table_id, slot, key, old_version, new_version, old_value,
+    new_value, old_present, new_present)`` covering the full write-set.
+    """
+
+    coord_id: int
+    txn_id: int
+    entries: Sequence[Tuple]
+    valid: bool = True
+    record_id: int = -1
+    # Bytes charged when the record entered a region (set on append).
+    charged_bytes: int = 0
+
+    def size_bytes(self, value_size_of: Optional[Dict[int, int]] = None) -> int:
+        size = LOG_RECORD_HEADER_BYTES
+        for entry in self.entries:
+            table_id = entry[0]
+            value_size = 8
+            if value_size_of is not None:
+                value_size = value_size_of.get(table_id, 8)
+            size += LOG_ENTRY_HEADER_BYTES + 2 * value_size
+        return size
+
+
+@dataclass
+class LogRegion:
+    """A coordinator's bounded, exclusively-owned log area.
+
+    The owner appends with plain RDMA writes (no CAS needed — the
+    region is private), invalidates individual records on abort, and
+    the recovery coordinator truncates the whole region by flipping the
+    header's valid bit (§3.2.3).
+    """
+
+    coord_id: int
+    capacity_bytes: int = LOG_REGION_CAPACITY_BYTES
+    header_valid: bool = True
+    used_bytes: int = 0
+    records: List[LogRecord] = field(default_factory=list)
+    _next_record_id: int = 0
+    _by_id: Dict[int, LogRecord] = field(default_factory=dict)
+
+    def append(self, record: LogRecord, size_bytes: int) -> int:
+        """Append a record, wrapping (ring-buffer style) when full."""
+        while self.used_bytes + size_bytes > self.capacity_bytes and self.records:
+            evicted = self.records.pop(0)
+            self._by_id.pop(evicted.record_id, None)
+            self.used_bytes -= evicted.charged_bytes
+        record.charged_bytes = size_bytes
+        record.record_id = self._next_record_id
+        self._next_record_id += 1
+        self.records.append(record)
+        self._by_id[record.record_id] = record
+        self.used_bytes += size_bytes
+        return record.record_id
+
+    def invalidate(self, record_id: int) -> bool:
+        record = self._by_id.get(record_id)
+        if record is None:
+            return False
+        record.valid = False
+        return True
+
+    def valid_records(self) -> List[LogRecord]:
+        """Records still valid (empty once truncated)."""
+        if not self.header_valid:
+            return []
+        return [record for record in self.records if record.valid]
+
+    def truncate(self) -> None:
+        """Invalidate the whole region (recovery-side truncation)."""
+        self.header_valid = False
+        self.records.clear()
+        self._by_id.clear()
+        self.used_bytes = 0
+
+    def reset(self) -> None:
+        """Re-arm the region for a fresh coordinator id."""
+        self.header_valid = True
+        self.records.clear()
+        self._by_id.clear()
+        self.used_bytes = 0
+
+
+class MemoryNode:
+    """A passive memory server.
+
+    Verbs arrive through queue pairs and are executed atomically by
+    :meth:`apply`. ``ctrl_*`` kinds model the wimpy-core control plane
+    (RPC-based, used only off the data path, as the paper allows).
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.alive = True
+        self.tables: Dict[int, List[ObjectSlot]] = {}
+        self.value_sizes: Dict[int, int] = {}
+        self.log_regions: Dict[int, LogRegion] = {}
+        self._revoked: Set[int] = set()
+        self.verb_counts: Dict[str, int] = {}
+        self._dispatch = {
+            "read_object": self._op_read_object,
+            "read_header": self._op_read_header,
+            "read_headers": self._op_read_headers,
+            "cas_lock": self._op_cas_lock,
+            "write_lock": self._op_write_lock,
+            "write_object": self._op_write_object,
+            "write_value": self._op_write_value,
+            "write_log": self._op_write_log,
+            "invalidate_log": self._op_invalidate_log,
+            "read_log_region": self._op_read_log_region,
+            "truncate_log_region": self._op_truncate_log_region,
+            "scan_chunk": self._op_scan_chunk,
+            "ctrl_revoke": self._op_ctrl_revoke,
+            "ctrl_unrevoke": self._op_ctrl_unrevoke,
+            "ctrl_register_log_region": self._op_ctrl_register_log_region,
+        }
+
+    # -- provisioning (control path, done at cluster build / setup) -------
+
+    def create_table(self, table_id: int, slots: int, value_size: int) -> None:
+        """Allocate the slot array for one table."""
+        if table_id in self.tables:
+            raise ValueError(f"table {table_id} already exists on node {self.node_id}")
+        self.tables[table_id] = [ObjectSlot(value_size=value_size) for _ in range(slots)]
+        self.value_sizes[table_id] = value_size
+
+    def load_slot(self, table_id: int, slot: int, value: Any, version: int = 1) -> None:
+        """Bulk-load an object (bypasses the network; setup only)."""
+        entry = self.tables[table_id][slot]
+        entry.value = value
+        entry.version = version
+        entry.present = True
+
+    def slot(self, table_id: int, slot: int) -> ObjectSlot:
+        """Direct slot access (tests/introspection only)."""
+        return self.tables[table_id][slot]
+
+    def crash(self) -> None:
+        """Crash-stop this memory server."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Restart with memory intact (battery-backed / NVM scenario)."""
+        self.alive = True
+
+    # -- link management ----------------------------------------------------
+
+    def is_revoked(self, compute_id: int) -> bool:
+        """True if the compute id lost its RDMA access rights."""
+        return compute_id in self._revoked
+
+    # -- verb execution ------------------------------------------------------
+
+    def apply(self, src_compute_id: int, kind: str, args: Tuple) -> Tuple[Any, int]:
+        """Execute one verb atomically; returns (result, response bytes)."""
+        handler = self._dispatch.get(kind)
+        if handler is None:
+            raise ValueError(f"unknown verb kind {kind!r}")
+        self.verb_counts[kind] = self.verb_counts.get(kind, 0) + 1
+        return handler(src_compute_id, args)
+
+    # Data-path verbs ---------------------------------------------------------
+
+    def _op_read_object(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        table_id, slot = args
+        entry = self.tables[table_id][slot]
+        return entry.snapshot(), entry.slot_bytes
+
+    def _op_read_header(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        table_id, slot = args
+        entry = self.tables[table_id][slot]
+        return entry.header(), OBJECT_HEADER_BYTES
+
+    def _op_read_headers(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        """Doorbell-batched header read for a list of (table, slot)."""
+        addresses = args[0]
+        headers = []
+        for table_id, slot in addresses:
+            headers.append(self.tables[table_id][slot].header())
+        return headers, OBJECT_HEADER_BYTES * len(headers)
+
+    def _op_cas_lock(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        table_id, slot, expected, desired = args
+        entry = self.tables[table_id][slot]
+        old = entry.lock
+        if old == expected:
+            entry.lock = desired
+        return old, 8
+
+    def _op_write_lock(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        table_id, slot, word = args
+        self.tables[table_id][slot].lock = word
+        return None, 8
+
+    def _op_write_object(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        """In-place update of value + version (+ presence)."""
+        table_id, slot, version, value, present = args
+        entry = self.tables[table_id][slot]
+        entry.version = version
+        entry.value = value
+        entry.present = present
+        return None, 8
+
+    def _op_write_value(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        table_id, slot, value = args
+        self.tables[table_id][slot].value = value
+        return None, 8
+
+    # Log verbs ----------------------------------------------------------------
+
+    def _op_write_log(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        (record,) = args
+        region = self.log_regions.get(record.coord_id)
+        if region is None:
+            region = LogRegion(coord_id=record.coord_id)
+            self.log_regions[record.coord_id] = region
+        size = record.size_bytes(self.value_sizes)
+        record_id = region.append(record, size)
+        return record_id, 8
+
+    def _op_invalidate_log(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        coord_id, record_id = args
+        region = self.log_regions.get(coord_id)
+        found = region.invalidate(record_id) if region is not None else False
+        return found, 8
+
+    def _op_read_log_region(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        (coord_id,) = args
+        region = self.log_regions.get(coord_id)
+        if region is None:
+            return [], 8
+        records = region.valid_records()
+        return list(records), max(region.used_bytes, 8)
+
+    def _op_truncate_log_region(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        (coord_id,) = args
+        region = self.log_regions.get(coord_id)
+        if region is not None:
+            region.truncate()
+        return None, 8
+
+    # Scan verb (used only by the Baseline's blocking recovery) ----------------
+
+    def _op_scan_chunk(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        """Raw read of *count* slots starting at (table, start).
+
+        One-sided reads cannot filter server-side, so the response is
+        charged for the full chunk even though the caller only wants
+        the lock words — this is what makes FORD-style stray-lock
+        scans take seconds (§3.1.1).
+        """
+        table_id, start, count = args
+        table = self.tables[table_id]
+        end = min(start + count, len(table))
+        locked = [
+            (index, table[index].lock)
+            for index in range(start, end)
+            if table[index].lock != 0
+        ]
+        value_size = self.value_sizes.get(table_id, 8)
+        chunk_bytes = (end - start) * (OBJECT_HEADER_BYTES + value_size)
+        return (locked, end), chunk_bytes
+
+    # Control-plane RPCs (wimpy core) -------------------------------------------
+
+    def _op_ctrl_revoke(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        (target_compute_id,) = args
+        self._revoked.add(target_compute_id)
+        return True, 8
+
+    def _op_ctrl_unrevoke(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        (target_compute_id,) = args
+        self._revoked.discard(target_compute_id)
+        return True, 8
+
+    def _op_ctrl_register_log_region(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        (coord_id,) = args
+        region = self.log_regions.get(coord_id)
+        if region is None:
+            self.log_regions[coord_id] = LogRegion(coord_id=coord_id)
+        else:
+            region.reset()
+        return True, 8
+
+    # Introspection (test/bench support; not part of the data path) -------------
+
+    def locked_slots(self, table_id: int) -> List[int]:
+        """Indices of currently locked slots in a table."""
+        return [
+            index
+            for index, entry in enumerate(self.tables[table_id])
+            if entry.lock != 0
+        ]
+
+    def total_data_bytes(self) -> int:
+        """Bytes of object data hosted by this node."""
+        return sum(
+            len(table) * (OBJECT_HEADER_BYTES + self.value_sizes[table_id])
+            for table_id, table in self.tables.items()
+        )

@@ -1,0 +1,45 @@
+"""Transaction protocols: the shared OCC engine and its three variants."""
+
+from repro.protocol.base import ProtocolEngine, Txn
+from repro.protocol.coordinator import Coordinator, CoordinatorConfig, CoordinatorStats
+from repro.protocol.ford import FordProtocol, ford_factory
+from repro.protocol.locks import (
+    encode_anonymous_lock,
+    encode_lock,
+    is_locked,
+    owner_of,
+    tag_of,
+)
+from repro.protocol.pandora import PandoraProtocol, pandora_factory
+from repro.protocol.tradlog import TradLogProtocol, tradlog_factory
+from repro.protocol.types import (
+    AbortReason,
+    BugFlags,
+    TxnAbort,
+    TxnOutcome,
+    WriteIntent,
+)
+
+__all__ = [
+    "AbortReason",
+    "BugFlags",
+    "Coordinator",
+    "CoordinatorConfig",
+    "CoordinatorStats",
+    "FordProtocol",
+    "PandoraProtocol",
+    "ProtocolEngine",
+    "TradLogProtocol",
+    "Txn",
+    "TxnAbort",
+    "TxnOutcome",
+    "WriteIntent",
+    "encode_anonymous_lock",
+    "encode_lock",
+    "ford_factory",
+    "is_locked",
+    "owner_of",
+    "pandora_factory",
+    "tag_of",
+    "tradlog_factory",
+]

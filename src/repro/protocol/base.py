@@ -1,0 +1,904 @@
+"""The shared transaction engine (execution / validation / commit-abort).
+
+FORD, Pandora, and the "traditional logging" variant all run the same
+optimistic skeleton (§2.3): eager-lock the write-set during execution,
+validate the read-set, then commit or abort. The variants differ in
+
+* the **lock word** (anonymous vs PILL owner-id encoding),
+* what happens on a **lock conflict** (abort vs consult failed-ids and
+  steal, §3.1.2),
+* the **undo-logging** strategy (per-object-to-object-replicas vs a
+  single coalesced record to f+1 fixed log servers, §3.1.4; the
+  traditional variant adds a pre-lock log round trip), and
+* the six **bug flags** of Table 1, which reproduce the published FORD
+  behaviour for the litmus framework.
+
+Application logic is a generator function ``logic(tx)`` that drives a
+:class:`Txn` handle (`yield from tx.read(...)`, ``tx.write(...)``); the
+engine executes it inside the protocol, exactly as the DKVS
+compute-side library runs application requests (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Hashable, List, Optional, Tuple
+
+from repro.memory.node import LogRecord
+from repro.protocol.locks import (
+    ANONYMOUS_OWNER,
+    encode_anonymous_lock,
+    encode_lock,
+    is_locked,
+    owner_of,
+)
+from repro.protocol.types import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    AbortReason,
+    BugFlags,
+    ReadEntry,
+    TxnAbort,
+    TxnOutcome,
+    WriteIntent,
+)
+from repro.rdma.errors import LinkRevokedError, RdmaError
+from repro.sim import Event
+
+__all__ = ["Txn", "ProtocolEngine"]
+
+
+class Txn:
+    """Per-attempt transaction context handed to application logic."""
+
+    __slots__ = (
+        "engine",
+        "txn_id",
+        "read_set",
+        "write_set",
+        "lock_procs",
+        "log_acks",
+        "logged_records",
+        "result",
+        "start_time",
+        "apply_done",
+    )
+
+    def __init__(self, engine: "ProtocolEngine", txn_id: int) -> None:
+        self.engine = engine
+        self.txn_id = txn_id
+        self.read_set: Dict[Tuple[int, int], ReadEntry] = {}
+        self.write_set: Dict[Tuple[int, int], WriteIntent] = {}
+        self.lock_procs: List[Event] = []
+        self.log_acks: List[Event] = []
+        # (memory node id, record id) pairs of coalesced log copies.
+        self.logged_records: List[Tuple[int, int]] = []
+        self.result: Any = None
+        self.start_time = engine.sim.now
+        # True once the commit phase applied updates to every replica.
+        self.apply_done = False
+
+    # -- application-facing operations (BeginTx is implicit) ---------------
+
+    def read(self, table: str, key: Hashable) -> Generator[Event, Any, Any]:
+        """Read one object; returns its value or None if absent."""
+        engine = self.engine
+        table_id = engine.catalog.table(table).table_id
+        slot = engine.catalog.slot_for(table_id, key)
+        address = (table_id, slot)
+        intent = self.write_set.get(address)
+        if intent is not None:
+            # Read-your-writes from the local buffer.
+            if intent.new_value is not None or intent.kind == OP_DELETE:
+                return None if intent.kind == OP_DELETE else intent.new_value
+            return intent.old_value
+        cached = self.read_set.get(address)
+        if cached is not None:
+            return cached.value if cached.present else None
+        entry = yield from engine._execute_read(self, table_id, key, slot)
+        return entry.value if entry.present else None
+
+    def read_many(
+        self, table: str, keys: List[Hashable]
+    ) -> Generator[Event, Any, List[Any]]:
+        """Batched read of several keys in one round trip.
+
+        Reads not served from the local buffers are posted together
+        (doorbell batching), so the whole batch costs one round trip
+        per involved memory node instead of one per key.
+        """
+        engine = self.engine
+        table_id = engine.catalog.table(table).table_id
+        values: List[Any] = [None] * len(keys)
+        to_fetch = []
+        for index, key in enumerate(keys):
+            slot = engine.catalog.slot_for(table_id, key)
+            address = (table_id, slot)
+            intent = self.write_set.get(address)
+            if intent is not None:
+                if intent.kind == OP_DELETE:
+                    values[index] = None
+                elif intent.new_value is not None:
+                    values[index] = intent.new_value
+                else:
+                    values[index] = intent.old_value
+                continue
+            cached = self.read_set.get(address)
+            if cached is not None:
+                values[index] = cached.value if cached.present else None
+                continue
+            to_fetch.append((index, key, slot))
+        if to_fetch:
+            fetched = yield from engine._execute_read_batch(
+                self, table_id, to_fetch
+            )
+            for index, value in fetched:
+                values[index] = value
+        return values
+
+    def read_range(
+        self, table: str, start_key: int, count: int
+    ) -> Generator[Event, Any, List[Any]]:
+        """ReadRange (§2.1): batched read of *count* consecutive keys."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        keys = [start_key + offset for offset in range(count)]
+        values = yield from self.read_many(table, keys)
+        return values
+
+    def read_for_update(self, table: str, key: Hashable) -> Generator[Event, Any, Any]:
+        """Lock-and-read: eagerly acquires the write lock, returns value."""
+        engine = self.engine
+        table_id = engine.catalog.table(table).table_id
+        slot = engine.catalog.slot_for(table_id, key)
+        address = (table_id, slot)
+        intent = self.write_set.get(address)
+        if intent is None:
+            intent = self._new_intent(table_id, key, slot, OP_UPDATE)
+        proc = self._lock_proc_for(intent)
+        if not proc.triggered:
+            yield proc
+        success, reason = intent.lock_result
+        if not success:
+            raise TxnAbort(reason, f"{table}[{key!r}]")
+        return intent.old_value if intent.old_present else None
+
+    def write(self, table: str, key: Hashable, value: Any) -> None:
+        """Buffer an update; the lock is acquired eagerly in the background.
+
+        Returns immediately — FORD pipelines blind-write locks with the
+        rest of execution; the engine waits for all lock completions at
+        the execution barrier (unless the relaxed-locks bug is on).
+        """
+        engine = self.engine
+        table_id = engine.catalog.table(table).table_id
+        slot = engine.catalog.slot_for(table_id, key)
+        intent = self.write_set.get((table_id, slot))
+        if intent is None:
+            cached = self.read_set.get((table_id, slot))
+            intent = self._new_intent(
+                table_id,
+                key,
+                slot,
+                OP_UPDATE,
+                expected_version=cached.version if cached is not None else None,
+            )
+        elif intent.kind == OP_DELETE:
+            # Write-after-delete within one transaction resurrects the
+            # object (net effect: an update).
+            intent.kind = OP_UPDATE
+        intent.new_value = value
+
+    def insert(self, table: str, key: Hashable, value: Any) -> None:
+        """Buffer an insert; aborts at lock time if the key exists."""
+        engine = self.engine
+        table_id = engine.catalog.table(table).table_id
+        slot = engine.catalog.slot_for(table_id, key)
+        existing = self.write_set.get((table_id, slot))
+        if existing is not None:
+            if existing.kind == OP_DELETE:
+                # Delete-then-insert in one transaction nets out to an
+                # update with the new value.
+                existing.kind = OP_UPDATE
+                existing.new_value = value
+                return
+            raise TxnAbort(AbortReason.DUPLICATE_KEY, f"{table}[{key!r}]")
+        intent = self._new_intent(table_id, key, slot, OP_INSERT)
+        intent.new_value = value
+
+    def delete(self, table: str, key: Hashable) -> None:
+        """Buffer a delete; aborts at lock time if the key is absent."""
+        engine = self.engine
+        table_id = engine.catalog.table(table).table_id
+        slot = engine.catalog.slot_for(table_id, key)
+        existing = self.write_set.get((table_id, slot))
+        if existing is not None:
+            existing.kind = OP_DELETE
+            existing.new_value = None
+            return
+        cached = self.read_set.get((table_id, slot))
+        self._new_intent(
+            table_id,
+            key,
+            slot,
+            OP_DELETE,
+            expected_version=cached.version if cached is not None else None,
+        )
+
+    def abort(self, detail: str = "") -> None:
+        """Application-requested abort."""
+        raise TxnAbort(AbortReason.USER, detail)
+
+    # -- internals ----------------------------------------------------------
+
+    def _new_intent(
+        self,
+        table_id: int,
+        key: Hashable,
+        slot: int,
+        kind: str,
+        expected_version: Optional[int] = None,
+    ) -> WriteIntent:
+        intent = WriteIntent(
+            table_id=table_id,
+            key=key,
+            slot=slot,
+            kind=kind,
+            expected_version=expected_version,
+        )
+        self.write_set[(table_id, slot)] = intent
+        proc = self.engine.sim.process(
+            self.engine._acquire(self, intent), name=f"lock-{table_id}:{slot}"
+        )
+        intent_proc_index = len(self.lock_procs)
+        self.lock_procs.append(proc)
+        # Remember which proc belongs to this intent for read_for_update.
+        intent._proc_index = intent_proc_index  # type: ignore[attr-defined]
+        return intent
+
+    def _lock_proc_for(self, intent: WriteIntent) -> Event:
+        return self.lock_procs[intent._proc_index]  # type: ignore[attr-defined]
+
+
+class ProtocolEngine:
+    """Shared OCC engine; variants set the class attributes below."""
+
+    name = "base"
+    # PILL: embed the coordinator id in lock words and allow stealing.
+    pill_enabled = False
+    # Pandora: one coalesced log record to the f+1 fixed log servers.
+    coalesced_logging = False
+    # FORD: one undo-log record per object to that object's replicas.
+    per_object_logging = False
+    # Traditional scheme: an extra lock-log round trip before each CAS.
+    pre_lock_logging = False
+    # FORD defers the read-then-write version re-check to validation
+    # (it validates "all objects in its read-set", §2.3) — i.e. *after*
+    # undo logs were written. Pandora enforces the check at lock time,
+    # before anything is logged (lock-to-log order, §3.1.5).
+    late_upgrade_check = False
+
+    def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
+        self.coordinator = coordinator
+        self.sim = coordinator.sim
+        self.verbs = coordinator.verbs
+        self.catalog = coordinator.catalog
+        self.placement = coordinator.catalog.placement
+        self.coord_id = coordinator.coord_id
+        self.bugs = bugs if bugs is not None else BugFlags.fixed()
+        self._lock_tag = 0
+        # The attempt currently in flight (used by interrupt recovery).
+        self.current_tx: Optional[Txn] = None
+        # §7 persistence: chase commit writes with a small read per
+        # touched node to flush the RNIC cache into NVM before acking.
+        self.nvm_flush = getattr(coordinator.config, "nvm_flush", False)
+        # FORD-style compute-side address cache: when cold, the first
+        # access to an object traverses the memory-side hash index (an
+        # extra one-sided read); afterwards the exact address is known.
+        self._warm_addresses = getattr(coordinator.config, "warm_address_cache", True)
+        self._address_cache: set = set()
+
+    # -- variant hooks -------------------------------------------------------
+
+    def _lock_word(self) -> int:
+        self._lock_tag = (self._lock_tag + 1) & 0xFFFFFFFF
+        if self.pill_enabled:
+            return encode_lock(self.coord_id, self._lock_tag)
+        return encode_anonymous_lock(self._lock_tag)
+
+    def _is_stray(self, word: int) -> bool:
+        """PILL check: is this lock owned by a recovered-failed coordinator?"""
+        if not self.pill_enabled or not is_locked(word):
+            return False
+        owner = owner_of(word)
+        if owner == ANONYMOUS_OWNER:
+            return False
+        return owner in self.coordinator.node.failed_ids
+
+    # -- fault hooks -----------------------------------------------------------
+
+    def _cp(self, name: str) -> Optional[Event]:
+        """Crash point: the injector may kill this compute node here."""
+        faults = self.coordinator.faults
+        if faults is None:
+            return None
+        return faults.crash_point(name, self.coordinator)
+
+    # -- top-level attempt -------------------------------------------------------
+
+    def run_attempt(self, logic, txn_id: int) -> Generator[Event, Any, TxnOutcome]:
+        """Execute one attempt of *logic*; returns a TxnOutcome."""
+        tx = Txn(self, txn_id)
+        self.current_tx = tx
+        try:
+            generated = logic(tx)
+            if hasattr(generated, "__next__"):
+                tx.result = yield from generated
+            else:
+                tx.result = generated
+            checkpoint = self._cp("execution_done")
+            if checkpoint is not None:
+                yield checkpoint
+
+            if self.bugs.relaxed_locks:
+                # BUG (Table 1, "Relaxed Locks"): validation reads are
+                # posted before the write-set locks are known to be
+                # held, so validation can race ahead of locking.
+                validation_groups = self._post_validation_reads(tx)
+                yield from self._lock_barrier(tx)
+                self._post_coalesced_log(tx)
+            else:
+                yield from self._lock_barrier(tx)
+                checkpoint = self._cp("locks_held")
+                if checkpoint is not None:
+                    yield checkpoint
+                self._post_coalesced_log(tx)
+                validation_groups = self._post_validation_reads(tx)
+            checkpoint = self._cp("log_posted")
+            if checkpoint is not None:
+                yield checkpoint
+
+            yield from self._check_validation(tx, validation_groups)
+            if self.late_upgrade_check:
+                self._check_upgrades(tx)
+
+            # Decision point: the write-set must be durably logged
+            # before any in-place update (§3.1.5 "(2) ... ensures the
+            # write-set is logged").
+            if tx.log_acks:
+                yield self.sim.all_of(tx.log_acks)
+            checkpoint = self._cp("decision")
+            if checkpoint is not None:
+                yield checkpoint
+
+            yield from self._commit(tx)
+            return TxnOutcome(
+                committed=True,
+                value=tx.result,
+                txn_id=txn_id,
+                start_time=tx.start_time,
+                end_time=self.sim.now,
+            )
+        except TxnAbort as abort:
+            yield from self._abort(tx, abort.reason)
+            return TxnOutcome(
+                committed=False,
+                reason=abort.reason,
+                txn_id=txn_id,
+                start_time=tx.start_time,
+                end_time=self.sim.now,
+            )
+        except LinkRevokedError:
+            # We were fenced by active-link termination (Cor1); the
+            # coordinator-level handler decides what to do next.
+            raise
+        except RdmaError:
+            # A replica went down mid-attempt; apply the compute-side
+            # decision rule of §3.2.5.
+            outcome = yield from self.recover_interrupted(tx)
+            return outcome
+        finally:
+            self.current_tx = None
+
+    # -- execution phase -----------------------------------------------------------
+
+    def _resolve_address(
+        self, table_id: int, slot: int, node: int
+    ) -> Generator[Event, Any, None]:
+        """Hash-index probe for a not-yet-cached object address."""
+        if self._warm_addresses or (table_id, slot) in self._address_cache:
+            return
+        # One bucket read resolves the exact object address.
+        yield self.verbs.read_header(node, table_id, slot)
+        self._address_cache.add((table_id, slot))
+
+    def _execute_read(
+        self, tx: Txn, table_id: int, key: Hashable, slot: int
+    ) -> Generator[Event, Any, ReadEntry]:
+        primary = self.placement.primary(table_id, slot)
+        yield from self._resolve_address(table_id, slot, primary)
+        lock, version, present, value = yield self.verbs.read_object(
+            primary, table_id, slot
+        )
+        if is_locked(lock) and not self._is_stray(lock):
+            # The execution phase fails if an accessed object is
+            # already locked (§2.3); PILL lets reads pass stray locks.
+            raise TxnAbort(AbortReason.READ_LOCKED, f"table {table_id} slot {slot}")
+        entry = ReadEntry(
+            table_id=table_id,
+            key=key,
+            slot=slot,
+            version=version,
+            present=present,
+            value=value,
+            node=primary,
+        )
+        tx.read_set[(table_id, slot)] = entry
+        return entry
+
+    def _execute_read_batch(
+        self, tx: Txn, table_id: int, to_fetch
+    ) -> Generator[Event, Any, List]:
+        """Post many reads together; one round trip per memory node."""
+        posted = []
+        for index, key, slot in to_fetch:
+            primary = self.placement.primary(table_id, slot)
+            posted.append(
+                (index, key, slot, primary, self.verbs.read_object(primary, table_id, slot))
+            )
+        results = []
+        for index, key, slot, primary, event in posted:
+            lock, version, present, value = yield event
+            if is_locked(lock) and not self._is_stray(lock):
+                raise TxnAbort(
+                    AbortReason.READ_LOCKED, f"table {table_id} slot {slot}"
+                )
+            tx.read_set[(table_id, slot)] = ReadEntry(
+                table_id=table_id,
+                key=key,
+                slot=slot,
+                version=version,
+                present=present,
+                value=value,
+                node=primary,
+            )
+            results.append((index, value if present else None))
+        return results
+
+    def _acquire(self, tx: Txn, intent: WriteIntent) -> Generator[Event, Any, None]:
+        """Lock + read one write-set object (runs as a subprocess).
+
+        Never raises: the outcome lands in ``intent.lock_result`` and
+        the execution barrier converts failures into aborts.
+        """
+        try:
+            yield from self._acquire_inner(tx, intent)
+        except RdmaError as error:
+            intent.lock_result = (False, AbortReason.LINK_REVOKED)
+            intent.lock_error = error  # type: ignore[attr-defined]
+
+    def _acquire_inner(self, tx: Txn, intent: WriteIntent) -> Generator[Event, Any, None]:
+        table_id, slot = intent.table_id, intent.slot
+        primary = self.placement.primary(table_id, slot)
+        yield from self._resolve_address(table_id, slot, primary)
+        desired = self._lock_word()
+
+        if self.pre_lock_logging:
+            # Traditional scheme: record lock ownership *before* taking
+            # the lock, costing one full extra round trip (§6.1).
+            yield from self._write_lock_log(intent, desired)
+
+        posted_speculatively = False
+        if (
+            self.per_object_logging
+            and self.bugs.log_without_lock
+            and intent.expected_version is not None
+        ):
+            # BUG (Table 1, "Logging without locking"): in a corner
+            # case FORD posts the undo log — built from the earlier
+            # read's image — before the CAS outcome is known.
+            self._post_object_log(tx, intent, speculative=True)
+            posted_speculatively = True
+
+        cas_event = self.verbs.cas_lock(primary, table_id, slot, 0, desired)
+        read_event = self.verbs.read_object(primary, table_id, slot)
+        checkpoint = self._cp("lock_posted")
+        if checkpoint is not None:
+            yield checkpoint
+        old_word = yield cas_event
+        lock, version, present, value = yield read_event
+
+        if old_word != 0:
+            if self._is_stray(old_word):
+                # PILL steal: the owner is a recovered-failed
+                # coordinator; a second CAS takes the lock over (§3.1.2).
+                second = yield self.verbs.cas_lock(
+                    primary, table_id, slot, old_word, desired
+                )
+                if second != old_word:
+                    intent.lock_result = (False, AbortReason.LOCK_CONFLICT)
+                    return
+                self.coordinator.stats.locks_stolen += 1
+                lock, version, present, value = yield self.verbs.read_object(
+                    primary, table_id, slot
+                )
+            else:
+                intent.lock_result = (False, AbortReason.LOCK_CONFLICT)
+                return
+
+        intent.locked = True
+        intent.lock_node = primary
+        intent.old_version = version
+        intent.old_value = value
+        intent.old_present = present
+        checkpoint = self._cp("locked")
+        if checkpoint is not None:
+            yield checkpoint
+
+        if (
+            intent.expected_version is not None
+            and version != intent.expected_version
+            and not self.late_upgrade_check
+        ):
+            # Read-then-write upgrade raced with another writer. FORD
+            # defers this abort to validation (after logging).
+            intent.lock_result = (False, AbortReason.UPGRADE_VERSION)
+            return
+        if intent.kind == OP_INSERT and present:
+            intent.lock_result = (False, AbortReason.DUPLICATE_KEY)
+            return
+        if intent.kind == OP_DELETE and not present:
+            intent.lock_result = (False, AbortReason.NOT_FOUND)
+            return
+
+        if self.per_object_logging and not posted_speculatively:
+            if not (self.bugs.missing_insert_log and intent.kind == OP_INSERT):
+                self._post_object_log(tx, intent)
+        intent.lock_result = (True, "")
+
+    def _lock_barrier(self, tx: Txn) -> Generator[Event, Any, None]:
+        """Wait for every lock subprocess; abort on any failure."""
+        if tx.lock_procs:
+            pending = [proc for proc in tx.lock_procs if not proc.triggered]
+            if pending:
+                yield self.sim.all_of(pending)
+        for intent in tx.write_set.values():
+            if intent.lock_result is None:
+                raise AssertionError("lock subprocess finished without a result")
+            success, reason = intent.lock_result
+            if not success:
+                raise TxnAbort(reason, f"table {intent.table_id} slot {intent.slot}")
+
+    # -- logging ---------------------------------------------------------------------
+
+    def _log_value_size(self, table_id: int) -> int:
+        return self.catalog.tables[table_id].value_size
+
+    def _post_object_log(
+        self, tx: Txn, intent: WriteIntent, speculative: bool = False
+    ) -> None:
+        """FORD-style: undo-log one object to each of its replicas.
+
+        A *speculative* log (the "logging without locking" bug) is
+        posted before the CAS outcome is known, so its undo image
+        comes from the transaction's earlier read of the object.
+        """
+        if speculative:
+            cached = tx.read_set.get((intent.table_id, intent.slot))
+            if cached is None:
+                return
+            entry = (
+                intent.table_id,
+                intent.slot,
+                intent.key,
+                cached.version,
+                cached.version + 1,
+                cached.value,
+                intent.new_value,
+                cached.present,
+                intent.new_present,
+            )
+        else:
+            entry = intent.log_entry()
+        record_template_entries = (entry,)
+        for node in self.placement.replicas(intent.table_id, intent.slot):
+            record = LogRecord(
+                coord_id=self.coord_id,
+                txn_id=tx.txn_id,
+                entries=record_template_entries,
+            )
+            size = record.size_bytes({intent.table_id: self._log_value_size(intent.table_id)})
+            ack = self.verbs.write_log(node, record, size)
+            tx.log_acks.append(ack)
+            self._remember_log_copy(tx, node, ack)
+
+    def _write_lock_log(
+        self, intent: WriteIntent, lock_word: int
+    ) -> Generator[Event, Any, None]:
+        """Traditional scheme's pre-lock ownership log (blocking RTT).
+
+        The record stores the exact lock word about to be CAS'd in, so
+        recovery can release the lock iff it is still the one we took
+        (a CAS conditioned on the logged word).
+        """
+        events = []
+        nodes = self.catalog.log_nodes(self.coord_id)
+        for node in nodes:
+            record = LogRecord(
+                coord_id=self.coord_id,
+                txn_id=-1,  # lock-intent record, not a txn undo record
+                entries=((intent.table_id, intent.slot, intent.key, lock_word),),
+            )
+            events.append(self.verbs.write_log(node, record, 64))
+        results = yield self.sim.all_of(events)
+        intent._locklog_copies = list(zip(nodes, results))  # type: ignore[attr-defined]
+
+    def _release_lock_logs(self, intent: WriteIntent) -> None:
+        """Invalidate lock-intent records once the lock is released."""
+        for node, record_id in getattr(intent, "_locklog_copies", ()):
+            self.verbs.invalidate_log(node, self.coord_id, record_id, signaled=False)
+
+    def _post_coalesced_log(self, tx: Txn) -> None:
+        """Pandora: one record covering the whole write-set, to the f+1
+        fixed log servers (§3.1.4). Posted after all locks are held
+        (lock-to-log order); the decision point waits for the acks."""
+        if not self.coalesced_logging or not tx.write_set:
+            return
+        entries = tuple(
+            intent.log_entry()
+            for intent in tx.write_set.values()
+            if intent.locked
+        )
+        if not entries:
+            return
+        value_sizes = {
+            spec.table_id: spec.value_size for spec in self.catalog.tables.values()
+        }
+        for node in self.catalog.log_nodes(self.coord_id):
+            record = LogRecord(
+                coord_id=self.coord_id, txn_id=tx.txn_id, entries=entries
+            )
+            size = record.size_bytes(value_sizes)
+            ack = self.verbs.write_log(node, record, size)
+            tx.log_acks.append(ack)
+            self._remember_log_copy(tx, node, ack)
+
+    def _remember_log_copy(self, tx: Txn, node: int, ack: Event) -> None:
+        def on_ack(event: Event) -> None:
+            if event._exception is None:
+                tx.logged_records.append((node, event._value))
+
+        ack.add_callback(on_ack)
+
+    # -- validation --------------------------------------------------------------------
+
+    def _post_validation_reads(self, tx: Txn):
+        """Batch per-node header reads for read-set members not written."""
+        to_validate = [
+            entry
+            for address, entry in tx.read_set.items()
+            if address not in tx.write_set
+        ]
+        if not to_validate or (len(to_validate) == 1 and not tx.write_set):
+            # A lone read with no writes is trivially serializable at
+            # its read point; skip the validation round trip.
+            return []
+        groups: Dict[int, List[ReadEntry]] = {}
+        for entry in to_validate:
+            node = self.placement.primary(entry.table_id, entry.slot)
+            groups.setdefault(node, []).append(entry)
+        posted = []
+        for node, entries in groups.items():
+            addresses = [(entry.table_id, entry.slot) for entry in entries]
+            posted.append((entries, self.verbs.read_headers(node, addresses)))
+        return posted
+
+    def _check_validation(self, tx: Txn, groups) -> Generator[Event, Any, None]:
+        for entries, event in groups:
+            headers = yield event
+            for entry, (lock, version, _present) in zip(entries, headers):
+                if version != entry.version:
+                    raise TxnAbort(
+                        AbortReason.VALIDATION_VERSION,
+                        f"table {entry.table_id} slot {entry.slot}",
+                    )
+                if self.bugs.covert_locks:
+                    # BUG (Table 1, "Covert Locks"): only versions are
+                    # compared; a concurrently locked object slips by.
+                    continue
+                if is_locked(lock) and not self._is_stray(lock):
+                    raise TxnAbort(
+                        AbortReason.VALIDATION_LOCKED,
+                        f"table {entry.table_id} slot {entry.slot}",
+                    )
+
+    def _check_upgrades(self, tx: Txn) -> None:
+        """FORD's deferred read-then-write version re-check.
+
+        Purely local: compares the version captured at lock time with
+        the one the earlier read observed. Crucially this runs *after*
+        the undo logs were posted — the ordering that makes FORD's
+        "lost decision" bug possible (§3.1.3).
+        """
+        for intent in tx.write_set.values():
+            if (
+                intent.locked
+                and intent.expected_version is not None
+                and intent.old_version != intent.expected_version
+            ):
+                raise TxnAbort(
+                    AbortReason.UPGRADE_VERSION,
+                    f"table {intent.table_id} slot {intent.slot}",
+                )
+
+    # -- commit / abort ------------------------------------------------------------------
+
+    def _commit(self, tx: Txn) -> Generator[Event, Any, None]:
+        apply_events: List[Event] = []
+        touched: Dict[int, Tuple[int, int]] = {}
+        for intent in tx.write_set.values():
+            if not intent.locked:
+                continue
+            has_change = intent.new_value is not None or intent.kind == OP_DELETE
+            if has_change:
+                value_size = self._log_value_size(intent.table_id)
+                for node in self.placement.live_replicas(intent.table_id, intent.slot):
+                    apply_events.append(
+                        self.verbs.write_object(
+                            node,
+                            intent.table_id,
+                            intent.slot,
+                            intent.new_version,
+                            intent.new_value,
+                            intent.new_present,
+                            value_size=value_size,
+                        )
+                    )
+                    touched[node] = (intent.table_id, intent.slot)
+                intent.applied = True
+            checkpoint = self._cp("commit_posted")
+            if checkpoint is not None:
+                yield checkpoint
+        if apply_events:
+            yield self.sim.all_of(apply_events)
+        if self.nvm_flush and touched:
+            # FORD's selective flush (§7): one small read per touched
+            # node, posted behind the writes on the same QPs, forces
+            # the RNIC cache into persistent memory before the ack.
+            flush_events = [
+                self.verbs.read_header(node, table_id, slot)
+                for node, (table_id, slot) in touched.items()
+            ]
+            yield self.sim.all_of(flush_events)
+        tx.apply_done = True
+        checkpoint = self._cp("applied")
+        if checkpoint is not None:
+            yield checkpoint
+
+        # Client acknowledgment happens here — after all replicas are
+        # updated, before unlocking (§2.3 step 1 vs 2).
+        self.coordinator.on_commit_ack(tx)
+
+        for intent in tx.write_set.values():
+            if intent.locked:
+                self.verbs.write_lock(intent.lock_node, intent.table_id, intent.slot, 0)
+                self._release_lock_logs(intent)
+        checkpoint = self._cp("unlocked")
+        if checkpoint is not None:
+            yield checkpoint
+
+        # Lazily invalidate the undo log copies (off the critical path).
+        for node, record_id in tx.logged_records:
+            self.verbs.invalidate_log(node, self.coord_id, record_id, signaled=False)
+
+    def _abort(self, tx: Txn, reason: str) -> Generator[Event, Any, None]:
+        # Locks may still be in flight (e.g. the abort came from a read
+        # during execution) — their CAS outcome decides what we must
+        # release, so wait for them first.
+        pending = [proc for proc in tx.lock_procs if not proc.triggered]
+        if pending:
+            yield self.sim.all_of(pending)
+        if tx.log_acks:
+            yield self.sim.all_of(tx.log_acks)
+
+        if tx.logged_records and not self.bugs.lost_decision:
+            # Pandora §3.1.5: the abort *decision* is logged by
+            # truncating the records — strictly before unlocking, so
+            # recovery can never confuse this txn with a committed one.
+            events = [
+                self.verbs.invalidate_log(node, self.coord_id, record_id)
+                for node, record_id in tx.logged_records
+            ]
+            yield self.sim.all_of(events)
+
+        for intent in tx.write_set.values():
+            release = intent.locked
+            if self.bugs.complicit_abort:
+                # BUG (Table 1, "Complicit Aborts"): FORD releases every
+                # write-set lock, including ones it never acquired —
+                # potentially freeing a lock held by another txn.
+                release = True
+            if release:
+                node = intent.lock_node
+                if node is None:
+                    node = self.placement.primary(intent.table_id, intent.slot)
+                self.verbs.write_lock(node, intent.table_id, intent.slot, 0)
+                self._release_lock_logs(intent)
+        checkpoint = self._cp("abort_unlocked")
+        if checkpoint is not None:
+            yield checkpoint
+        self.coordinator.on_abort(tx, reason)
+
+    # -- interrupted attempts (memory reconfiguration, §3.2.5) ---------------
+
+    def recover_interrupted(self, tx: Optional[Txn]) -> Generator[Event, Any, TxnOutcome]:
+        """Resolve an attempt cut short by a memory-failure interrupt.
+
+        The compute server has complete knowledge of its in-flight
+        transactions, so it applies the same criterion as log recovery:
+        commit transactions that updated all live replicas, abort the
+        rest (§3.2.5). Best-effort network errors are swallowed —
+        replicas that vanished take their state with them.
+        """
+        if tx is None:
+            tx = self.current_tx
+        self.current_tx = None
+        if tx is None:
+            return TxnOutcome(
+                committed=False,
+                reason=AbortReason.MEMORY_RECONFIG,
+                start_time=self.sim.now,
+                end_time=self.sim.now,
+            )
+        pending = [proc for proc in tx.lock_procs if not proc.triggered]
+        if pending:
+            try:
+                yield self.sim.all_of(pending)
+            except RdmaError:
+                pass
+
+        if tx.apply_done:
+            # All replica updates landed before the interrupt: commit.
+            self.coordinator.on_commit_ack(tx)
+            self._best_effort_release(tx)
+            return TxnOutcome(
+                committed=True,
+                value=tx.result,
+                txn_id=tx.txn_id,
+                start_time=tx.start_time,
+                end_time=self.sim.now,
+            )
+
+        # Roll back: restore the undo image on any replica we updated.
+        for intent in tx.write_set.values():
+            if intent.applied:
+                value_size = self._log_value_size(intent.table_id)
+                for node in self.placement.live_replicas(intent.table_id, intent.slot):
+                    self.verbs.write_object(
+                        node,
+                        intent.table_id,
+                        intent.slot,
+                        intent.old_version,
+                        intent.old_value,
+                        intent.old_present,
+                        value_size=value_size,
+                        signaled=False,
+                    )
+        self._best_effort_release(tx)
+        self.coordinator.on_abort(tx, AbortReason.MEMORY_RECONFIG)
+        return TxnOutcome(
+            committed=False,
+            reason=AbortReason.MEMORY_RECONFIG,
+            txn_id=tx.txn_id,
+            start_time=tx.start_time,
+            end_time=self.sim.now,
+        )
+
+    def _best_effort_release(self, tx: Txn) -> None:
+        """Unlock held locks and drop log records without waiting."""
+        for intent in tx.write_set.values():
+            if intent.locked:
+                self.verbs.write_lock(intent.lock_node, intent.table_id, intent.slot, 0)
+                self._release_lock_logs(intent)
+        for node, record_id in tx.logged_records:
+            self.verbs.invalidate_log(node, self.coord_id, record_id, signaled=False)

@@ -1,0 +1,47 @@
+"""FORD — the state-of-the-art baseline protocol (Zhang et al., FAST'22).
+
+FORD is the published one-sided transactional DKVS Pandora builds on.
+Its locks carry **no owner identity**, and its undo logs are written
+per object to that object's replicas during execution — *after*
+locking, which is the root cause of stray locks (§3.1.1) and of the
+Table 1 logging bugs.
+
+``FordProtocol(bugs=BugFlags.published())`` reproduces FORD exactly as
+shipped; ``BugFlags.fixed()`` gives the repaired online component used
+by the paper's *Baseline* (FORD + Pandora's recovery algorithm adapted
+to scan-based lock cleanup).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocol.base import ProtocolEngine
+from repro.protocol.types import BugFlags
+
+__all__ = ["FordProtocol"]
+
+
+class FordProtocol(ProtocolEngine):
+    """FORD: anonymous locks + per-object undo logging."""
+
+    name = "ford"
+    pill_enabled = False
+    coalesced_logging = False
+    per_object_logging = True
+    pre_lock_logging = False
+    late_upgrade_check = True
+
+    def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
+        super().__init__(
+            coordinator, bugs if bugs is not None else BugFlags.published()
+        )
+
+
+def ford_factory(bugs: Optional[BugFlags] = None):
+    """Engine factory for :class:`~repro.protocol.coordinator.Coordinator`."""
+
+    def factory(coordinator):
+        return FordProtocol(coordinator, bugs=bugs)
+
+    return factory

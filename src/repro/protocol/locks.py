@@ -1,0 +1,67 @@
+"""Lock-word encoding — the heart of PILL.
+
+A lock is a single 64-bit word mutated only by RDMA CAS:
+
+* bit 63          — locked flag
+* bits 32..47     — 16-bit coordinator-id of the owner (PILL, §3.1.2)
+* bits 0..31      — owner-local tag (diagnostics; not used for decisions)
+
+FORD's original lock carries **no owner identity** (the word is just
+0/LOCKED), which is why its recovery must scan the whole store to find
+stray locks. Pandora's entire fast-recovery story reduces to the owner
+id being CAS'd in atomically with the lock bit: a failed CAS returns
+the current word, the loser checks the embedded owner against the
+failed-ids bitset, and steals the lock if the owner is dead.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LOCKED_FLAG",
+    "MAX_COORD_ID",
+    "ANONYMOUS_OWNER",
+    "encode_lock",
+    "encode_anonymous_lock",
+    "is_locked",
+    "owner_of",
+    "tag_of",
+]
+
+LOCKED_FLAG = 1 << 63
+_OWNER_SHIFT = 32
+_OWNER_MASK = 0xFFFF
+_TAG_MASK = 0xFFFFFFFF
+
+# 16-bit ids: 64K coordinators over the lifetime of the system (§3.1.2).
+MAX_COORD_ID = _OWNER_MASK
+
+# FORD locks have no owner identity; we encode them with this sentinel
+# so that `owner_of` is total but recovery cannot attribute them.
+ANONYMOUS_OWNER = _OWNER_MASK
+
+
+def encode_lock(coord_id: int, tag: int = 0) -> int:
+    """Lock word owned by *coord_id* (PILL encoding)."""
+    if not 0 <= coord_id <= MAX_COORD_ID:
+        raise ValueError(f"coordinator id {coord_id} out of 16-bit range")
+    if not 0 <= tag <= _TAG_MASK:
+        raise ValueError(f"tag {tag} out of 32-bit range")
+    return LOCKED_FLAG | (coord_id << _OWNER_SHIFT) | tag
+
+
+def encode_anonymous_lock(tag: int = 0) -> int:
+    """FORD-style lock word: locked, but with no usable owner identity."""
+    return LOCKED_FLAG | (ANONYMOUS_OWNER << _OWNER_SHIFT) | (tag & _TAG_MASK)
+
+
+def is_locked(word: int) -> bool:
+    return bool(word & LOCKED_FLAG)
+
+
+def owner_of(word: int) -> int:
+    """Owner coordinator-id embedded in a lock word."""
+    return (word >> _OWNER_SHIFT) & _OWNER_MASK
+
+
+def tag_of(word: int) -> int:
+    return word & _TAG_MASK

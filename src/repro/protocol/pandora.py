@@ -1,0 +1,47 @@
+"""Pandora — the paper's contribution (§3).
+
+Differences from FORD, all inherited from the shared engine's hooks:
+
+* **PILL** — lock words embed the owner's 16-bit coordinator-id; on a
+  CAS failure the loser checks the owner against the failed-ids bitset
+  and *steals* stray locks with a second CAS (§3.1.2). Reads treat
+  stray locks as unlocked.
+* **Coalesced post-lock logging** — one undo record covering the whole
+  write-set, written to the coordinator's f+1 fixed log servers after
+  every lock is held; the commit decision waits for the acks, and an
+  abort truncates the records *before* unlocking (§3.1.4-§3.1.5).
+* **All Table 1 bugs fixed** by default. Bug flags can be re-enabled
+  individually for the litmus framework (the C1 bugs were present in
+  pre-validation Pandora too, per Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocol.base import ProtocolEngine
+from repro.protocol.types import BugFlags
+
+__all__ = ["PandoraProtocol"]
+
+
+class PandoraProtocol(ProtocolEngine):
+    """Pandora: PILL locks + coalesced post-lock logging."""
+
+    name = "pandora"
+    pill_enabled = True
+    coalesced_logging = True
+    per_object_logging = False
+    pre_lock_logging = False
+
+    def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
+        super().__init__(coordinator, bugs if bugs is not None else BugFlags.fixed())
+
+
+def pandora_factory(bugs: Optional[BugFlags] = None):
+    """Engine factory for :class:`~repro.protocol.coordinator.Coordinator`."""
+
+    def factory(coordinator):
+        return PandoraProtocol(coordinator, bugs=bugs)
+
+    return factory

@@ -1,0 +1,49 @@
+"""The "traditional logging" alternative evaluated in §6.1 / §6.2.1.
+
+Instead of PILL, this scheme makes locks recoverable by writing an
+explicit *lock-intent* record to the coordinator's log servers before
+every lock CAS — one extra blocking round trip per lock. Recovery can
+then release a failed coordinator's locks from its lock logs without
+scanning the store, but:
+
+* recovery is ~2x slower than Pandora's (two log families to process),
+* steady-state throughput drops by up to 35% on write-heavy workloads
+  (SmallBank), because the extra round trip sits on the critical path
+  of every write.
+
+Locks are anonymous (as in FORD), but each lock-intent record stores
+the exact lock *word* that was CAS'd in, so recovery releases a lock
+only when the stored word still matches (an owner check by value).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocol.base import ProtocolEngine
+from repro.protocol.types import BugFlags
+
+__all__ = ["TradLogProtocol"]
+
+
+class TradLogProtocol(ProtocolEngine):
+    """FORD-style engine plus a pre-lock ownership log round trip."""
+
+    name = "tradlog"
+    pill_enabled = False
+    coalesced_logging = True
+    per_object_logging = False
+    pre_lock_logging = True
+    late_upgrade_check = True
+
+    def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
+        super().__init__(coordinator, bugs if bugs is not None else BugFlags.fixed())
+
+
+def tradlog_factory(bugs: Optional[BugFlags] = None):
+    """Engine factory for :class:`~repro.protocol.coordinator.Coordinator`."""
+
+    def factory(coordinator):
+        return TradLogProtocol(coordinator, bugs=bugs)
+
+    return factory

@@ -1,0 +1,22 @@
+"""Simulated one-sided RDMA fabric (reliable-connection semantics)."""
+
+from repro.rdma.errors import (
+    InvalidAddressError,
+    LinkRevokedError,
+    RdmaError,
+    RemoteNodeDownError,
+)
+from repro.rdma.network import Network, NetworkConfig
+from repro.rdma.qp import QueuePair
+from repro.rdma.verbs import Verbs
+
+__all__ = [
+    "InvalidAddressError",
+    "LinkRevokedError",
+    "Network",
+    "NetworkConfig",
+    "QueuePair",
+    "RdmaError",
+    "RemoteNodeDownError",
+    "Verbs",
+]

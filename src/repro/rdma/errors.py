@@ -1,0 +1,45 @@
+"""RDMA-layer error types.
+
+Real RDMA reliable-connection queue pairs transition to an error state
+when their remote access rights are revoked; every posted work request
+then completes with a flush error. We model that with
+:class:`LinkRevokedError`, which is exactly the failure a falsely
+suspected compute server observes after active-link termination
+(Pandora §3.2.2, correctness criterion Cor1).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RdmaError",
+    "LinkRevokedError",
+    "RemoteNodeDownError",
+    "InvalidAddressError",
+]
+
+
+class RdmaError(Exception):
+    """Base class for simulated RDMA failures."""
+
+
+class LinkRevokedError(RdmaError):
+    """The memory node revoked this compute node's RDMA access rights."""
+
+    def __init__(self, compute_node: int, memory_node: int) -> None:
+        super().__init__(
+            f"compute node {compute_node} link to memory node {memory_node} revoked"
+        )
+        self.compute_node = compute_node
+        self.memory_node = memory_node
+
+
+class RemoteNodeDownError(RdmaError):
+    """The target memory node has crashed; the QP broke."""
+
+    def __init__(self, memory_node: int) -> None:
+        super().__init__(f"memory node {memory_node} is down")
+        self.memory_node = memory_node
+
+
+class InvalidAddressError(RdmaError):
+    """An operation addressed memory outside any registered region."""

@@ -1,0 +1,75 @@
+"""Network latency and bandwidth model.
+
+The paper's testbed uses 100 Gbps ConnectX-6 NICs with low-microsecond
+round trips. The delay of a simulated message is::
+
+    one_way_latency + size / bandwidth + jitter [+ retransmit penalty]
+
+Only *relative* costs matter for the reproduced claims (e.g. "scanning
+100 GiB over a 100 Gbps link takes at least 8 seconds", §3.1.1), and
+those follow directly from this arithmetic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["NetworkConfig", "Network"]
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable parameters of the simulated fabric.
+
+    Defaults approximate the paper's CloudLab r650 testbed: ~3 us RTT
+    for small verbs and 100 Gbps of per-link bandwidth.
+    """
+
+    one_way_latency: float = 1.5e-6
+    bandwidth_bytes_per_sec: float = 12.5e9  # 100 Gbps
+    jitter: float = 0.2e-6
+    loss_probability: float = 0.0
+    retransmit_timeout: float = 20e-6
+
+    def validate(self) -> None:
+        if self.one_way_latency <= 0:
+            raise ValueError("one_way_latency must be positive")
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if self.retransmit_timeout <= 0:
+            raise ValueError("retransmit_timeout must be positive")
+
+
+class Network:
+    """Computes message delays; shared by every queue pair.
+
+    RDMA reliable connections retransmit lost packets transparently at
+    the transport layer (§2.1 failure model), so loss shows up to the
+    protocol only as added latency — we model exactly that.
+    """
+
+    def __init__(self, config: NetworkConfig, rng: random.Random) -> None:
+        config.validate()
+        self.config = config
+        self._rng = rng
+
+    def delay(self, size_bytes: int) -> float:
+        """One-way delay for a message of *size_bytes*."""
+        cfg = self.config
+        delay = cfg.one_way_latency + size_bytes / cfg.bandwidth_bytes_per_sec
+        if cfg.jitter:
+            delay += self._rng.random() * cfg.jitter
+        if cfg.loss_probability and self._rng.random() < cfg.loss_probability:
+            # Reliable connection: the NIC retransmits after a timeout;
+            # the sender only observes the extra delay.
+            delay += cfg.retransmit_timeout
+        return delay
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Pure serialization time for bulk transfers (scans, log reads)."""
+        return size_bytes / self.config.bandwidth_bytes_per_sec

@@ -1,0 +1,136 @@
+"""Reliable-connection queue pairs.
+
+A queue pair (QP) connects one compute node to one memory node and
+delivers posted verbs *in order* — the property FORD and Pandora rely
+on to guarantee that a lock CAS lands before the subsequent object read
+(§3.1.1, "the role of RDMA").
+
+Execution of a verb happens atomically at the memory node at the
+message's arrival event, which is exactly the atomicity unit the NIC
+provides for one-sided CAS/FAA. Crashed compute nodes are *not*
+special-cased here: requests they posted before dying still land at
+memory — this is the mechanism that produces stray locks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.rdma.errors import LinkRevokedError, RemoteNodeDownError
+from repro.rdma.network import Network
+from repro.sim import Event, Simulator
+
+__all__ = ["QueuePair", "VERB_HEADER_BYTES"]
+
+# Approximate wire overhead of a one-sided verb (headers, CRCs).
+VERB_HEADER_BYTES = 36
+
+
+class QueuePair:
+    """One compute-to-memory reliable connection."""
+
+    __slots__ = (
+        "sim",
+        "network",
+        "compute_id",
+        "memory_node",
+        "_last_request_arrival",
+        "_last_response_arrival",
+        "posted_verbs",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        compute_id: int,
+        memory_node: Any,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.compute_id = compute_id
+        self.memory_node = memory_node
+        self._last_request_arrival = 0.0
+        self._last_response_arrival = 0.0
+        self.posted_verbs = 0
+
+    def post(
+        self,
+        kind: str,
+        args: Tuple,
+        request_size: int,
+        signaled: bool = True,
+    ) -> Event:
+        """Post a one-sided verb; returns its completion event.
+
+        The request arrives at the memory node after the network delay
+        (FIFO-ordered within this QP), executes atomically there, and
+        the completion fires back at the compute side one more delay
+        later.
+
+        ``signaled=False`` models unsignaled work requests: the verb
+        still executes remotely but the returned event fires
+        immediately at post time (the coordinator does not wait for
+        it). FORD posts its background undo-log writes unsignaled.
+        """
+        self.posted_verbs += 1
+        arrival = max(
+            self._last_request_arrival,
+            self.sim.now + self.network.delay(request_size + VERB_HEADER_BYTES),
+        )
+        self._last_request_arrival = arrival
+        memory_node = self.memory_node
+        compute_id = self.compute_id
+
+        if not signaled:
+            # No one waits for an unsignaled verb: execute it at
+            # arrival, skip the response path, and hand the caller an
+            # already-satisfied event.
+            def execute_unsignaled() -> None:
+                if memory_node.alive and not memory_node.is_revoked(compute_id):
+                    memory_node.apply(compute_id, kind, args)
+
+            self.sim.call_at(arrival, execute_unsignaled)
+            done = Event(self.sim)
+            done.finish_now(None)
+            return done
+
+        completion = Event(self.sim)
+
+        def execute() -> None:
+            if not memory_node.alive:
+                self._complete(completion, None, RemoteNodeDownError(memory_node.node_id), 0)
+                return
+            if memory_node.is_revoked(compute_id):
+                self._complete(
+                    completion,
+                    None,
+                    LinkRevokedError(compute_id, memory_node.node_id),
+                    0,
+                )
+                return
+            result, response_size = memory_node.apply(compute_id, kind, args)
+            self._complete(completion, result, None, response_size)
+
+        self.sim.call_at(arrival, execute)
+        return completion
+
+    def _complete(
+        self,
+        completion: Event,
+        result: Any,
+        error: Exception,
+        response_size: int,
+    ) -> None:
+        arrival = max(
+            self._last_response_arrival,
+            self.sim.now + self.network.delay(response_size + VERB_HEADER_BYTES),
+        )
+        self._last_response_arrival = arrival
+
+        def deliver() -> None:
+            # finish_now runs waiters synchronously — we are already
+            # executing exactly at the completion's due time.
+            completion.finish_now(result, error)
+
+        self.sim.call_at(arrival, deliver)

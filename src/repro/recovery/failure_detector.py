@@ -1,0 +1,117 @@
+"""Heartbeat-based failure detection (§3.2.2 step 1, §3.2.4).
+
+Compute and memory nodes send periodic heartbeats; the detector scans
+its last-seen table every ``check_interval`` and declares a node failed
+once its heartbeat is older than ``timeout`` (5 ms in the paper's
+evaluation). False positives are possible and allowed — active-link
+termination (Cor1) makes them safe, and the detector itself never
+needs to be perfect, only eventually accurate (partial synchrony).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.recovery.idalloc import IdAllocator
+from repro.sim import Event, Simulator
+
+__all__ = ["FailureDetector"]
+
+
+class FailureDetector:
+    """Standalone heartbeat failure detector (Figure 4a)."""
+
+    #: How many replicas of the detector state exist (1 = standalone).
+    replica_count = 1
+
+    def __init__(
+        self,
+        sim: Simulator,
+        id_allocator: Optional[IdAllocator] = None,
+        timeout: float = 5e-3,
+        check_interval: float = 0.5e-3,
+    ) -> None:
+        if timeout <= 0 or check_interval <= 0:
+            raise ValueError("timeout and check_interval must be positive")
+        self.sim = sim
+        self.id_allocator = id_allocator or IdAllocator()
+        self.timeout = timeout
+        self.check_interval = check_interval
+        self.recovery_manager = None  # wired by the cluster builder
+        self._last_heartbeat: Dict[Tuple[str, int], float] = {}
+        self._registered: Dict[Tuple[str, int], Any] = {}
+        self._suspected: Set[Tuple[str, int]] = set()
+        self.detections: List[Tuple[float, str, int]] = []
+        self._process = None
+
+    # -- registration ----------------------------------------------------------
+
+    def allocate_coordinator_id(self) -> int:
+        """Serialized id allocation at coordinator spawn (§3.1.2)."""
+        return self.id_allocator.allocate()
+
+    def register(self, kind: str, node) -> None:
+        """Track *node* ('compute' or 'memory') from now on."""
+        key = (kind, node.node_id)
+        self._registered[key] = node
+        self._last_heartbeat[key] = self.sim.now
+        self._suspected.discard(key)
+
+    def deregister(self, kind: str, node_id: int) -> None:
+        """Stop tracking a node."""
+        key = (kind, node_id)
+        self._registered.pop(key, None)
+        self._last_heartbeat.pop(key, None)
+        self._suspected.discard(key)
+
+    # -- heartbeat ingestion ------------------------------------------------------
+
+    def heartbeat_sinks(self) -> List[Callable[[str, int, float], None]]:
+        """Sinks a node sends heartbeats to (one per FD replica)."""
+        return [self.heartbeat]
+
+    def heartbeat(self, kind: str, node_id: int, sent_at: float) -> None:
+        """Record a heartbeat arrival for (kind, node)."""
+        key = (kind, node_id)
+        if key in self._registered:
+            self._last_heartbeat[key] = self.sim.now
+
+    # -- detection loop --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the periodic detection loop."""
+        self._process = self.sim.process(self._run(), name="failure-detector")
+
+    def stop(self) -> None:
+        """Stop the detection loop."""
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    def _run(self) -> Generator[Event, Any, None]:
+        while True:
+            yield self.sim.timeout(self.check_interval)
+            now = self.sim.now
+            for key, node in list(self._registered.items()):
+                if key in self._suspected:
+                    continue
+                if now - self._last_heartbeat[key] > self.timeout:
+                    self._suspected.add(key)
+                    yield from self._declare_failed(key, node)
+
+    def _declare_failed(self, key, node) -> Generator[Event, Any, None]:
+        """Hand a suspicion to the recovery manager.
+
+        Subclasses insert the quorum-agreement delay here (Figure 4b).
+        """
+        kind, node_id = key
+        self.detections.append((self.sim.now, kind, node_id))
+        if self.recovery_manager is None:
+            return
+        if kind == "compute":
+            self.recovery_manager.handle_compute_failure(node)
+        else:
+            self.recovery_manager.handle_memory_failure(node)
+        # Make this a generator even when no delay is inserted.
+        if False:  # pragma: no cover - generator marker
+            yield

@@ -1,0 +1,88 @@
+"""Coordinator-id allocation and recycling (§3.1.2).
+
+The failure detector owns a strictly serialized 16-bit id counter:
+64K coordinator ids over the lifetime of the system. A failed id must
+never be reassigned while its stray locks may still exist, so ids are
+only returned to the pool by the recycling scan, which first releases
+every stray lock held under them. Recycling triggers when more than
+95% of the id space has been consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.protocol.locks import ANONYMOUS_OWNER, MAX_COORD_ID
+from repro.util.bitset import Bitset
+
+__all__ = ["IdAllocator"]
+
+
+class IdAllocator:
+    """Strictly serialized coordinator-id source with recycling."""
+
+    def __init__(
+        self,
+        capacity: int = MAX_COORD_ID,  # ANONYMOUS_OWNER stays reserved
+        recycle_threshold: float = 0.95,
+    ) -> None:
+        if capacity <= 0 or capacity > MAX_COORD_ID:
+            raise ValueError(f"capacity out of range: {capacity}")
+        if not 0.0 < recycle_threshold <= 1.0:
+            raise ValueError(f"recycle_threshold out of range: {recycle_threshold}")
+        self.capacity = capacity
+        self.recycle_threshold = recycle_threshold
+        self._next = 0
+        self._recycled: List[int] = []
+        # Ids of coordinators declared failed whose stray locks may
+        # still exist (the contents of every failed-ids bitset).
+        self.failed = Bitset(MAX_COORD_ID + 1)
+        self.allocated_ever = 0
+
+    def allocate(self) -> int:
+        """Next unique coordinator id (recycled ids are reused first)."""
+        if self._recycled:
+            self.allocated_ever += 1
+            return self._recycled.pop()
+        if self._next >= self.capacity:
+            raise RuntimeError(
+                "coordinator-id space exhausted; recycling has not run"
+            )
+        coord_id = self._next
+        self._next += 1
+        self.allocated_ever += 1
+        return coord_id
+
+    def mark_failed(self, coord_id: int) -> None:
+        """Record a coordinator id as failed (stray locks possible)."""
+        if coord_id == ANONYMOUS_OWNER:
+            raise ValueError("the anonymous owner id cannot fail")
+        self.failed.add(coord_id)
+
+    def failed_ids(self) -> List[int]:
+        """Snapshot of all currently failed ids."""
+        return list(self.failed)
+
+    @property
+    def consumed_ratio(self) -> float:
+        """Fraction of the id space handed out so far."""
+        return self._next / self.capacity
+
+    @property
+    def needs_recycling(self) -> bool:
+        """FD triggers the recycling scan above 95% consumption."""
+        return self.consumed_ratio >= self.recycle_threshold
+
+    def recycle(self, coord_ids: Iterable[int]) -> int:
+        """Return ids to the pool after their stray locks were scrubbed.
+
+        Only previously failed ids can be recycled (live ids are still
+        in use), and the recycling scan must have released all locks
+        they owned before calling this.
+        """
+        recycled = 0
+        for coord_id in coord_ids:
+            if self.failed.discard(coord_id):
+                self._recycled.append(coord_id)
+                recycled += 1
+        return recycled

@@ -1,0 +1,551 @@
+"""The recovery coordinator (RC) and the end-to-end recovery protocol.
+
+Implements §3.2.2's four steps for compute failures:
+
+1. **Detection** — performed by the failure detector, which calls
+   :meth:`RecoveryManager.handle_compute_failure`.
+2. **Active-link termination** — revoke the failed node's RDMA rights
+   at every memory server via a wimpy-core RPC (Cor1: even a falsely
+   suspected node can no longer touch memory).
+3. **Log recovery** — read each failed coordinator's log region(s),
+   rebuild the write-set of every Logged-Stray-Tx, and roll it forward
+   iff *every* replica of *every* written object already carries the
+   new version (Cor2/Cor3), otherwise roll it back from the undo
+   images. Regions are then truncated, making re-execution idempotent
+   (§3.2.3).
+4. **Stray-lock notification** — only after truncation, tell the live
+   compute servers the failed coordinator-ids so they start stealing
+   NotLogged-Stray-Tx locks (Cor4).
+
+Three recovery modes mirror the paper's three protocols:
+
+* ``pill``     — Pandora: steps 1-4 as above; stray locks are healed
+  lazily by PILL stealing, so nothing blocks.
+* ``locklog``  — traditional scheme: additionally replays the
+  per-lock intent records to release stray locks eagerly (~2x slower).
+* ``scan``     — Baseline (FORD): locks are anonymous, so the whole
+  store is paused, drained, and scanned slot-by-slot with one-sided
+  reads (~5 s per million keys, §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Iterable, List, Optional, Set, Tuple
+
+from repro.protocol.locks import is_locked, owner_of
+from repro.rdma.errors import RdmaError
+from repro.sim import Event, Simulator
+
+__all__ = ["RecoveryManager", "RecoveryRecord"]
+
+# Log-entry tuple layout (see WriteIntent.log_entry):
+# (table_id, slot, key, old_version, new_version,
+#  old_value, new_value, old_present, new_present)
+_E_TABLE, _E_SLOT, _E_KEY, _E_OLD_VER, _E_NEW_VER = 0, 1, 2, 3, 4
+_E_OLD_VAL, _E_NEW_VAL, _E_OLD_PRESENT, _E_NEW_PRESENT = 5, 6, 7, 8
+
+
+@dataclass
+class RecoveryRecord:
+    """Timeline and counters of one node recovery (for the harness)."""
+
+    node_id: int
+    kind: str  # "compute" or "memory"
+    detected_at: float
+    fenced_at: float = 0.0
+    log_recovered_at: float = 0.0
+    notified_at: float = 0.0
+    finished_at: float = 0.0
+    coordinators: int = 0
+    logged_txns: int = 0
+    rolled_forward: int = 0
+    rolled_back: int = 0
+    locks_released: int = 0
+    scanned_slots: int = 0
+    # Replica copies actually rewritten from undo images during
+    # roll-back (a no-op roll-back restores nothing).
+    restored_replicas: int = 0
+
+    @property
+    def log_recovery_latency(self) -> float:
+        """The paper's Table 2 metric: time spent in log recovery."""
+        return self.log_recovered_at - self.fenced_at
+
+    @property
+    def total_latency(self) -> float:
+        """Detection-to-finished duration."""
+        return self.finished_at - self.detected_at
+
+
+class RecoveryManager:
+    """Runs recovery on a dedicated compute identity with own verbs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        verbs,
+        catalog,
+        network,
+        compute_nodes: Dict[int, Any],
+        memory_nodes: Dict[int, Any],
+        id_allocator,
+        mode: str = "pill",
+        drain_delay: float = 0.5e-3,
+        reconfig_delay: float = 2e-3,
+        scan_chunk_slots: int = 512,
+        restart_hook=None,
+        restart_after: Optional[float] = None,
+    ) -> None:
+        if mode not in ("pill", "locklog", "scan"):
+            raise ValueError(f"unknown recovery mode {mode!r}")
+        self.sim = sim
+        self.verbs = verbs
+        self.catalog = catalog
+        self.placement = catalog.placement
+        self.network = network
+        self.compute_nodes = compute_nodes
+        self.memory_nodes = memory_nodes
+        self.id_allocator = id_allocator
+        self.mode = mode
+        self.drain_delay = drain_delay
+        self.reconfig_delay = reconfig_delay
+        self.scan_chunk_slots = scan_chunk_slots
+        self.restart_hook = restart_hook
+        self.restart_after = restart_after
+        self.records: List[RecoveryRecord] = []
+        self._in_progress: Set[Tuple[str, int]] = set()
+
+    # -- entry points (called by the failure detector) -----------------------
+
+    def handle_compute_failure(self, node) -> Optional[Event]:
+        """Begin the four-step compute recovery (section 3.2.2)."""
+        key = ("compute", node.node_id)
+        if key in self._in_progress:
+            return None
+        self._in_progress.add(key)
+        return self.sim.process(
+            self._recover_compute(node), name=f"recover-c{node.node_id}"
+        )
+
+    def handle_memory_failure(self, node) -> Optional[Event]:
+        """Begin memory-failure reconfiguration (section 3.2.5)."""
+        key = ("memory", node.node_id)
+        if key in self._in_progress:
+            return None
+        self._in_progress.add(key)
+        return self.sim.process(
+            self._recover_memory(node), name=f"recover-m{node.node_id}"
+        )
+
+    # -- compute-failure recovery (§3.2.2) ---------------------------------------
+
+    def _alive_memory_ids(self) -> List[int]:
+        return [nid for nid, node in self.memory_nodes.items() if node.alive]
+
+    def _alive_compute_nodes(self, excluding: int) -> List[Any]:
+        return [
+            node
+            for node in self.compute_nodes.values()
+            if node.alive and node.node_id != excluding
+        ]
+
+    def _recover_compute(self, node) -> Generator[Event, Any, None]:
+        record = RecoveryRecord(
+            node_id=node.node_id, kind="compute", detected_at=self.sim.now
+        )
+        self.records.append(record)
+        coord_ids = node.coordinator_ids()
+        record.coordinators = len(coord_ids)
+
+        # Step 2: active-link termination at every live memory server.
+        fence_events = [
+            self.verbs.revoke_link(mem_id, node.node_id)
+            for mem_id in self._alive_memory_ids()
+        ]
+        if fence_events:
+            yield self.sim.all_of(fence_events)
+        record.fenced_at = self.sim.now
+
+        # Step 3: log recovery.
+        if self.mode == "scan":
+            yield from self._scan_recovery(node, coord_ids, record)
+        else:
+            yield from self._log_recovery(coord_ids, record)
+        record.log_recovered_at = self.sim.now
+
+        # Step 4: stray-lock notification, strictly after truncation
+        # (Cor4) — only NotLogged-Stray-Tx locks remain stealable.
+        for coord_id in coord_ids:
+            self.id_allocator.mark_failed(coord_id)
+        for compute in self._alive_compute_nodes(excluding=node.node_id):
+            delay = self.network.delay(128)
+            self.sim.call_at(
+                self.sim.now + delay,
+                lambda n=compute, ids=tuple(coord_ids): n.add_failed_ids(ids),
+            )
+        record.notified_at = self.sim.now
+        record.finished_at = self.sim.now
+        self._in_progress.discard(("compute", node.node_id))
+
+        if self.restart_hook is not None and self.restart_after is not None:
+            self.sim.call_at(
+                self.sim.now + self.restart_after,
+                lambda n=node: self.restart_hook(n),
+            )
+
+    # -- log recovery --------------------------------------------------------------
+
+    def _log_source_nodes(self, coord_id: int) -> List[int]:
+        """Where this coordinator's logs live.
+
+        Coalesced logging gathers them in f+1 fixed servers (§3.1.4);
+        FORD's per-object logging spreads them over every memory node.
+        """
+        if self.mode == "scan":
+            return self._alive_memory_ids()
+        return [
+            node_id
+            for node_id in self.catalog.log_nodes(coord_id)
+            if self.memory_nodes[node_id].alive
+        ]
+
+    def _log_recovery(
+        self, coord_ids: Iterable[int], record: RecoveryRecord
+    ) -> Generator[Event, Any, None]:
+        """Steps: read log regions, decide per txn, repair, truncate."""
+        for coord_id in coord_ids:
+            yield from self._recover_coordinator_logs(coord_id, record)
+
+    def _recover_coordinator_logs(
+        self, coord_id: int, record: RecoveryRecord
+    ) -> Generator[Event, Any, None]:
+        source_nodes = self._log_source_nodes(coord_id)
+        read_events = [
+            (node_id, self.verbs.read_log_region(node_id, coord_id))
+            for node_id in source_nodes
+        ]
+        all_records = []
+        for _node_id, event in read_events:
+            try:
+                all_records.extend((yield event))
+            except RdmaError:
+                continue  # a log replica died; the others suffice
+
+        txns: Dict[int, Dict[Tuple[int, int], Tuple]] = {}
+        lock_intents: List[Tuple] = []
+        for log_record in all_records:
+            if not log_record.valid:
+                continue
+            if log_record.txn_id == -1:
+                lock_intents.extend(log_record.entries)
+                continue
+            entries = txns.setdefault(log_record.txn_id, {})
+            for entry in log_record.entries:
+                entries[(entry[_E_TABLE], entry[_E_SLOT])] = entry
+
+        record.logged_txns += len(txns)
+        for txn_id in sorted(txns):
+            yield from self._repair_logged_txn(coord_id, txns[txn_id], record)
+
+        if self.mode == "locklog" and lock_intents:
+            yield from self._release_logged_locks(lock_intents, record)
+
+        truncate_events = [
+            self.verbs.truncate_log_region(node_id, coord_id)
+            for node_id in source_nodes
+            if self.memory_nodes[node_id].alive
+        ]
+        for event in truncate_events:
+            try:
+                yield event
+            except RdmaError:
+                continue
+
+    def _repair_logged_txn(
+        self,
+        coord_id: int,
+        entries: Dict[Tuple[int, int], Tuple],
+        record: RecoveryRecord,
+    ) -> Generator[Event, Any, None]:
+        """Decide roll-forward vs roll-back for one Logged-Stray-Tx."""
+        # Read the headers of every replica of every written object,
+        # batched per memory node.
+        per_node: Dict[int, List[Tuple[Tuple[int, int], Tuple[int, int]]]] = {}
+        for (table_id, slot), entry in entries.items():
+            for node_id in self.placement.replicas(table_id, slot):
+                if not self.memory_nodes[node_id].alive:
+                    continue
+                per_node.setdefault(node_id, []).append(
+                    ((table_id, slot), (table_id, slot))
+                )
+        headers: Dict[Tuple[int, Tuple[int, int]], Tuple] = {}
+        posted = []
+        for node_id, pairs in per_node.items():
+            addresses = [address for _key, address in pairs]
+            posted.append((node_id, pairs, self.verbs.read_headers(node_id, addresses)))
+        for node_id, pairs, event in posted:
+            try:
+                results = yield event
+            except RdmaError:
+                continue
+            for (key, _address), header in zip(pairs, results):
+                headers[(node_id, key)] = header
+
+        # Cor2/Cor3 decision: roll forward iff every live replica of
+        # every write carries (at least) the new version — then a
+        # commit-ack may have reached the client, while an abort-ack
+        # is impossible.
+        updated_all = True
+        for (table_id, slot), entry in entries.items():
+            for node_id in self.placement.replicas(table_id, slot):
+                header = headers.get((node_id, (table_id, slot)))
+                if header is None:
+                    continue  # replica down; judged by the survivors
+                _lock, version, _present = header
+                if version < entry[_E_NEW_VER]:
+                    updated_all = False
+                    break
+            if not updated_all:
+                break
+
+        if updated_all:
+            record.rolled_forward += 1
+        else:
+            record.rolled_back += 1
+            restore_events = []
+            for (table_id, slot), entry in entries.items():
+                value_size = self.catalog.tables[table_id].value_size
+                for node_id in self.placement.replicas(table_id, slot):
+                    header = headers.get((node_id, (table_id, slot)))
+                    if header is None:
+                        continue
+                    _lock, version, _present = header
+                    if version >= entry[_E_NEW_VER]:
+                        # This replica took the update; undo it.
+                        restore_events.append(
+                            self.verbs.write_object(
+                                node_id,
+                                table_id,
+                                slot,
+                                entry[_E_OLD_VER],
+                                entry[_E_OLD_VAL],
+                                entry[_E_OLD_PRESENT],
+                                value_size=value_size,
+                            )
+                        )
+            record.restored_replicas += len(restore_events)
+            for event in restore_events:
+                try:
+                    yield event
+                except RdmaError:
+                    continue
+
+        # Release the primary locks this txn still holds. With PILL we
+        # release by owner-conditioned CAS; anonymous locks (scan and
+        # locklog modes) are handled by the scan / lock-intent replay.
+        if self.mode == "pill":
+            yield from self._release_owned_locks(coord_id, entries, headers, record)
+
+    def _release_owned_locks(
+        self, coord_id, entries, headers, record
+    ) -> Generator[Event, Any, None]:
+        cas_events = []
+        for (table_id, slot), _entry in entries.items():
+            node_id = self.placement.primary(table_id, slot)
+            header = headers.get((node_id, (table_id, slot)))
+            if header is None:
+                continue
+            lock, _version, _present = header
+            if is_locked(lock) and owner_of(lock) == coord_id:
+                cas_events.append(
+                    self.verbs.cas_lock(node_id, table_id, slot, lock, 0)
+                )
+        for event in cas_events:
+            try:
+                old = yield event
+                if is_locked(old) and owner_of(old) == coord_id:
+                    record.locks_released += 1
+            except RdmaError:
+                continue
+
+    def _release_logged_locks(
+        self, lock_intents: List[Tuple], record: RecoveryRecord
+    ) -> Generator[Event, Any, None]:
+        """Traditional scheme: replay lock-intent records.
+
+        Each record carries the exact word that was CAS'd in; the lock
+        is released only if the word still matches (the lock could have
+        been released and re-taken by a live transaction since).
+        """
+        for table_id, slot, _key, word in lock_intents:
+            try:
+                node_id = self.placement.primary(table_id, slot)
+            except RuntimeError:
+                continue
+            if not self.memory_nodes[node_id].alive:
+                continue
+            try:
+                lock, _version, _present = yield self.verbs.read_header(
+                    node_id, table_id, slot
+                )
+                if lock == word:
+                    old = yield self.verbs.cas_lock(node_id, table_id, slot, word, 0)
+                    if old == word:
+                        record.locks_released += 1
+            except RdmaError:
+                continue
+
+    # -- Baseline scan recovery (§3.1.1 / §6.1) ---------------------------------------
+
+    def _scan_recovery(
+        self, node, coord_ids: Iterable[int], record: RecoveryRecord
+    ) -> Generator[Event, Any, None]:
+        """Stop the world, drain, scan every slot, unlock stray locks.
+
+        One-sided reads cannot attribute anonymous locks to owners, so
+        the Baseline must quiesce all compute servers first; afterwards
+        every remaining lock belongs to the failed node and can be
+        released. The scan itself issues one read per slot from a
+        single recovery thread — the source of the ~5 s/million-keys
+        latency the paper measures.
+        """
+        for compute in self._alive_compute_nodes(excluding=node.node_id):
+            delay = self.network.delay(128)
+            self.sim.call_at(self.sim.now + delay, compute.pause)
+        yield self.sim.timeout(self.drain_delay)
+
+        # FORD's undo logs still allow rolling logged txns back/forward.
+        yield from self._log_recovery(coord_ids, record)
+
+        per_slot_rtt = 2 * self.network.config.one_way_latency + 4e-7
+        for mem_id in self._alive_memory_ids():
+            memory = self.memory_nodes[mem_id]
+            for table_id, table in memory.tables.items():
+                position = 0
+                total = len(table)
+                while position < total:
+                    chunk = min(self.scan_chunk_slots, total - position)
+                    # Single-threaded per-slot one-sided reads: charge
+                    # the round trips, then fetch the chunk's locks.
+                    yield self.sim.timeout(chunk * per_slot_rtt)
+                    try:
+                        locked, position = yield self.verbs.scan_chunk(
+                            mem_id, table_id, position, chunk
+                        )
+                    except RdmaError:
+                        break
+                    record.scanned_slots += chunk
+                    for slot, word in locked:
+                        try:
+                            old = yield self.verbs.cas_lock(
+                                mem_id, table_id, slot, word, 0
+                            )
+                            if old == word:
+                                record.locks_released += 1
+                        except RdmaError:
+                            continue
+
+        for compute in self._alive_compute_nodes(excluding=node.node_id):
+            delay = self.network.delay(128)
+            self.sim.call_at(self.sim.now + delay, compute.resume)
+
+    # -- memory re-replication (§3.2.5, ">f failures" path) -----------------------
+
+    def restore_memory_node(self, node) -> Optional[Event]:
+        """Bring a memory server back and re-replicate its partitions.
+
+        §3.2.5: "Pandora adds new memory servers if there are more
+        than f replica failures. For this, we stop the DKVS,
+        re-replicate all the partitions, and then resume." The copy is
+        charged at network bandwidth; compute servers are paused for
+        its duration (this path is deliberately stop-the-world).
+        """
+        if node.alive:
+            return None
+        return self.sim.process(
+            self._restore_memory(node), name=f"rereplicate-m{node.node_id}"
+        )
+
+    def _restore_memory(self, node) -> Generator[Event, Any, None]:
+        record = RecoveryRecord(
+            node_id=node.node_id, kind="memory-restore", detected_at=self.sim.now
+        )
+        self.records.append(record)
+        for compute in self.compute_nodes.values():
+            if compute.alive:
+                delay = self.network.delay(128)
+                self.sim.call_at(self.sim.now + delay, compute.pause)
+        yield self.sim.timeout(self.drain_delay)
+        record.fenced_at = self.sim.now
+
+        # Copy every partition replica this node hosts from a live
+        # copy, charging the transfer at link bandwidth.
+        node.restart()
+        copied_bytes = 0
+        for spec in self.catalog.tables.values():
+            table_id = spec.table_id
+            for slot in range(self.catalog.key_count(table_id)):
+                replicas = self.placement.replicas(table_id, slot)
+                if node.node_id not in replicas:
+                    continue
+                source_id = next(
+                    (
+                        nid
+                        for nid in replicas
+                        if nid != node.node_id and self.memory_nodes[nid].alive
+                    ),
+                    None,
+                )
+                if source_id is None:
+                    continue  # data lost beyond f failures
+                source = self.memory_nodes[source_id].slot(table_id, slot)
+                target = node.slot(table_id, slot)
+                target.lock = 0
+                target.version = source.version
+                target.value = source.value
+                target.present = source.present
+                copied_bytes += source.slot_bytes
+        yield self.sim.timeout(self.network.transfer_time(copied_bytes))
+        record.scanned_slots = copied_bytes  # reuse field: bytes moved
+        record.log_recovered_at = self.sim.now
+
+        self.placement.mark_up(node.node_id)
+        for compute in self.compute_nodes.values():
+            if compute.alive:
+                delay = self.network.delay(128)
+                self.sim.call_at(self.sim.now + delay, compute.resume)
+        record.notified_at = self.sim.now
+        record.finished_at = self.sim.now
+        # Allow this node to be detected again if it fails later.
+        self._in_progress.discard(("memory", node.node_id))
+
+    # -- memory-failure recovery (§3.2.5) -------------------------------------------------
+
+    def _recover_memory(self, node) -> Generator[Event, Any, None]:
+        record = RecoveryRecord(
+            node_id=node.node_id, kind="memory", detected_at=self.sim.now
+        )
+        self.records.append(record)
+
+        # Tell every compute server; each pauses, interrupts in-flight
+        # transactions (they self-decide commit/abort against the live
+        # replica set), and recomputes primaries deterministically.
+        self.placement.mark_down(node.node_id)
+        for compute in self.compute_nodes.values():
+            if compute.alive:
+                delay = self.network.delay(128)
+                self.sim.call_at(self.sim.now + delay, compute.begin_memory_reconfig)
+        record.fenced_at = self.sim.now
+
+        # Metadata agreement + drain window before resuming.
+        yield self.sim.timeout(self.reconfig_delay)
+        record.log_recovered_at = self.sim.now
+
+        for compute in self.compute_nodes.values():
+            if compute.alive:
+                delay = self.network.delay(128)
+                self.sim.call_at(self.sim.now + delay, compute.end_memory_reconfig)
+        record.notified_at = self.sim.now
+        record.finished_at = self.sim.now
+        self._in_progress.discard(("memory", node.node_id))

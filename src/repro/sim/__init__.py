@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel used by every subsystem."""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    ProcessKilled,
+    Simulator,
+    Timeout,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessKilled",
+    "Simulator",
+    "Timeout",
+]

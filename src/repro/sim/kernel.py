@@ -1,0 +1,409 @@
+"""Discrete-event simulation kernel.
+
+The kernel drives generator-based *processes* over a virtual clock. A
+process is a Python generator that yields :class:`Event` objects; the
+kernel resumes the generator when the yielded event fires, sending the
+event's value back into the generator (or throwing its exception).
+
+This is a deliberately small SimPy-like core. Everything in the
+reproduction — RDMA verbs, coordinators, failure detectors, recovery —
+is built as processes on top of it, which gives us two properties the
+paper's testbed cannot offer: *determinism* (a seeded run always yields
+the same history) and *precise fault placement* (a compute node can be
+crashed between any two protocol steps).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "ProcessKilled",
+    "Simulator",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Exception):
+    """Raised internally when a process is killed (crash-stop)."""
+
+
+_PENDING = 0
+_TRIGGERED = 1
+_PROCESSED = 2
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*, becomes *triggered* once :meth:`succeed`
+    or :meth:`fail` is called, and *processed* after its callbacks ran.
+    """
+
+    __slots__ = ("sim", "_state", "_value", "_exception", "callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._state = _PENDING
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self.callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has fired (succeeded or failed)."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks of the event have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value of the event; raises its exception on failure."""
+        if not self.triggered:
+            raise RuntimeError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully with *value*."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._state = _TRIGGERED
+        self._value = value
+        self.sim._post(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event with an exception."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._state = _TRIGGERED
+        self._exception = exception
+        self.sim._post(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def finish_now(self, value: Any, exception: Optional[BaseException] = None) -> None:
+        """Trigger and run callbacks synchronously at the current time.
+
+        A fast path for high-volume producers (the RDMA fabric) that
+        are already executing at the event's due time: it skips the
+        schedule/dequeue round trip of :meth:`succeed`.
+        """
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._value = value
+        self._exception = exception
+        self._run_callbacks()
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Invoke *callback(event)* once the event fires."""
+        if self._state == _PROCESSED:
+            # Late subscription: deliver on the next kernel step so the
+            # caller still observes asynchronous semantics.
+            self.sim.call_soon(lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._state = _TRIGGERED
+        self._value = value
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Process(Event):
+    """Wraps a generator; completes when the generator returns.
+
+    The process's :class:`Event` side fires with the generator's return
+    value, or fails with the exception that escaped the generator.
+    """
+
+    __slots__ = ("generator", "_target", "_alive", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._alive = True
+        sim.call_soon(lambda: self._resume(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the process has not finished or been killed."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self._alive:
+            return
+        target, self._target = self._target, None
+        if target is not None:
+            target.callbacks = [
+                cb for cb in target.callbacks if getattr(cb, "__self__", None) is not self
+            ]
+        self.sim.call_soon(lambda: self._resume(None, Interrupt(cause)))
+
+    def kill(self) -> None:
+        """Terminate the process immediately without running any more of it.
+
+        This models a crash-stop failure: the process never observes the
+        kill, it simply stops executing. The process event fails with
+        :class:`ProcessKilled` so that joiners are not left hanging.
+        """
+        if not self._alive:
+            return
+        self._alive = False
+        target, self._target = self._target, None
+        if target is not None:
+            target.callbacks = [
+                cb for cb in target.callbacks if getattr(cb, "__self__", None) is not self
+            ]
+        self.generator.close()
+        if not self.triggered:
+            self._state = _TRIGGERED
+            self._exception = ProcessKilled(self.name)
+            self.sim._post(self)
+
+    # -- generator driving ------------------------------------------------
+
+    def _on_target(self, event: Event) -> None:
+        if not self._alive:
+            return
+        self._target = None
+        if event._exception is not None:
+            self._resume(None, event._exception)
+        else:
+            self._resume(event._value, None)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self._alive:
+            return
+        try:
+            if exc is not None:
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            if not self.triggered:
+                self._state = _TRIGGERED
+                self._value = stop.value
+                self.sim._post(self)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate via event
+            self._alive = False
+            if not self.triggered:
+                self._state = _TRIGGERED
+                self._exception = error
+                self.sim._post(self)
+            else:
+                raise
+            return
+        if not isinstance(target, Event):
+            self._alive = False
+            self.generator.close()
+            if not self.triggered:
+                self._state = _TRIGGERED
+                self._exception = TypeError(
+                    f"process {self.name!r} yielded {target!r}, expected an Event"
+                )
+                self.sim._post(self)
+            return
+        self._target = target
+        target.add_callback(self._on_target)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending_count = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once every child event fires; value is the list of values.
+
+    If any child fails, the condition fails with that child's exception.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed([child._value for child in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any child fires; value is (index, child value)."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed((self.events.index(event), event._value))
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, event)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[tuple] = []
+        self._seq = 0
+        self._processed_events = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, event))
+
+    def _post(self, event: Event) -> None:
+        """Schedule a just-triggered event's callbacks to run now."""
+        self._schedule_at(self.now, event)
+
+    def call_soon(self, func: Callable[[], None]) -> None:
+        """Run *func* at the current virtual time on the next kernel step."""
+        self._schedule_at(self.now, func)
+
+    def call_at(self, when: float, func: Callable[[], None]) -> None:
+        """Run *func* at absolute virtual time *when*."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        self._schedule_at(when, func)
+
+    # -- primitives --------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing after *delay* of virtual time."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn a generator as a process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all children fire."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing on the first child."""
+        return AnyOf(self, events)
+
+    # -- running -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one queue entry."""
+        when, _seq, entry = heapq.heappop(self._queue)
+        if when < self.now:
+            raise AssertionError("time went backwards")
+        self.now = when
+        if isinstance(entry, Event):
+            if entry._state == _TRIGGERED:
+                entry._run_callbacks()
+        else:
+            # Raw callable scheduled via call_soon / call_at.
+            entry()
+        self._processed_events += 1
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or virtual time reaches *until*."""
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+    def run_until_complete(self, process: Process, limit: Optional[float] = None) -> Any:
+        """Run until *process* finishes; return its value (or raise)."""
+        while not process.triggered:
+            if not self._queue:
+                raise RuntimeError(
+                    f"deadlock: process {process.name!r} pending with empty queue"
+                )
+            if limit is not None and self._queue[0][0] > limit:
+                raise TimeoutError(
+                    f"process {process.name!r} did not finish by t={limit}"
+                )
+            self.step()
+        return process.value
+
+    @property
+    def processed_events(self) -> int:
+        """Total kernel steps executed."""
+        return self._processed_events

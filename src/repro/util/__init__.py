@@ -1,0 +1,15 @@
+"""Shared utilities: bitsets, statistics, samplers."""
+
+from repro.util.bitset import Bitset
+from repro.util.stats import Histogram, OnlineStats, ThroughputTimeline
+from repro.util.zipf import HotSetSampler, UniformSampler, ZipfSampler
+
+__all__ = [
+    "Bitset",
+    "Histogram",
+    "HotSetSampler",
+    "OnlineStats",
+    "ThroughputTimeline",
+    "UniformSampler",
+    "ZipfSampler",
+]

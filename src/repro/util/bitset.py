@@ -1,0 +1,98 @@
+"""A compact fixed-size bitset.
+
+Pandora stores the *failed-ids* — the coordinator-ids of every compute
+server that has ever been declared failed — as a 64K-entry bitset so
+that the check performed on every contended lock acquisition stays O(1)
+regardless of how many failures the cluster has seen (§3.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["Bitset"]
+
+
+class Bitset:
+    """Fixed-capacity set of small non-negative integers.
+
+    Backed by a single Python int used as a bit vector, which keeps
+    membership tests O(1) and copies cheap.
+    """
+
+    __slots__ = ("capacity", "_bits", "_count")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._bits = 0
+        self._count = 0
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"index {index} out of range [0, {self.capacity})")
+
+    def add(self, index: int) -> bool:
+        """Set bit *index*; return True if it was newly set."""
+        self._check(index)
+        mask = 1 << index
+        if self._bits & mask:
+            return False
+        self._bits |= mask
+        self._count += 1
+        return True
+
+    def discard(self, index: int) -> bool:
+        """Clear bit *index*; return True if it was previously set."""
+        self._check(index)
+        mask = 1 << index
+        if not self._bits & mask:
+            return False
+        self._bits &= ~mask
+        self._count -= 1
+        return True
+
+    def __contains__(self, index: int) -> bool:
+        if not 0 <= index < self.capacity:
+            return False
+        return bool(self._bits & (1 << index))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self._bits
+        index = 0
+        while bits:
+            if bits & 1:
+                yield index
+            bits >>= 1
+            index += 1
+
+    def clear(self) -> None:
+        """Remove every member."""
+        self._bits = 0
+        self._count = 0
+
+    def copy(self) -> "Bitset":
+        """Return an independent copy of this bitset."""
+        clone = Bitset(self.capacity)
+        clone._bits = self._bits
+        clone._count = self._count
+        return clone
+
+    def update_from(self, other: "Bitset") -> None:
+        """Union *other* into this bitset (capacities must match)."""
+        if other.capacity != self.capacity:
+            raise ValueError("bitset capacities differ")
+        self._bits |= other._bits
+        self._count = bin(self._bits).count("1")
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of capacity in use — drives id recycling (§3.1.2)."""
+        return self._count / self.capacity
+
+    def __repr__(self) -> str:
+        return f"Bitset(capacity={self.capacity}, set={self._count})"

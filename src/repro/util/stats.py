@@ -1,0 +1,222 @@
+"""Online statistics, histograms, and throughput timelines.
+
+The benchmark harness records committed-transaction timestamps into a
+:class:`ThroughputTimeline` and latency samples into a
+:class:`Histogram`; both avoid retaining per-sample state so multi-
+million-transaction runs stay cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["OnlineStats", "Histogram", "ThroughputTimeline"]
+
+
+class OnlineStats:
+    """Welford's online mean/variance plus min/max."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples seen so far."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Chan et al. parallel merge of two accumulators."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineStats(n={self.count}, mean={self.mean:.4g}, "
+            f"std={self.stddev:.4g}, min={self.min:.4g}, max={self.max:.4g})"
+        )
+
+
+class Histogram:
+    """Log-bucketed latency histogram with approximate percentiles.
+
+    Buckets grow geometrically from *min_value*; percentile queries
+    interpolate within the matched bucket, which is accurate enough for
+    the order-of-magnitude latency comparisons the paper reports.
+    """
+
+    def __init__(
+        self,
+        min_value: float = 1e-7,
+        max_value: float = 100.0,
+        buckets_per_decade: int = 20,
+    ) -> None:
+        if min_value <= 0 or max_value <= min_value:
+            raise ValueError("require 0 < min_value < max_value")
+        self.min_value = min_value
+        self.max_value = max_value
+        decades = math.log10(max_value / min_value)
+        self._bucket_count = int(math.ceil(decades * buckets_per_decade)) + 1
+        self._log_min = math.log10(min_value)
+        self._per_decade = buckets_per_decade
+        self._counts = [0] * self._bucket_count
+        self.stats = OnlineStats()
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        index = int((math.log10(value) - self._log_min) * self._per_decade)
+        return min(index, self._bucket_count - 1)
+
+    def _bucket_bounds(self, index: int) -> Tuple[float, float]:
+        low = 10 ** (self._log_min + index / self._per_decade)
+        high = 10 ** (self._log_min + (index + 1) / self._per_decade)
+        return low, high
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self._counts[self._bucket_index(value)] += 1
+        self.stats.add(value)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return self.stats.count
+
+    def merge(self, other: "Histogram") -> None:
+        """Merge another histogram's buckets (same layout required)."""
+        if (
+            other._bucket_count != self._bucket_count
+            or other._log_min != self._log_min
+            or other._per_decade != self._per_decade
+        ):
+            raise ValueError("histogram layouts differ")
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self.stats.merge(other.stats)
+
+    def percentile(self, pct: float) -> float:
+        """Return the approximate value at percentile *pct* in [0, 100]."""
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile out of range: {pct}")
+        if self.count == 0:
+            return 0.0
+        target = pct / 100.0 * self.count
+        running = 0
+        for index, bucket_count in enumerate(self._counts):
+            running += bucket_count
+            if running >= target and bucket_count:
+                low, high = self._bucket_bounds(index)
+                # Linear interpolation inside the bucket.
+                fraction = 1.0 - (running - target) / bucket_count
+                return low + (high - low) * fraction
+        return self.stats.max
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(n={self.count}, p50={self.percentile(50):.3g}, "
+            f"p99={self.percentile(99):.3g})"
+        )
+
+
+class ThroughputTimeline:
+    """Committed-operations-per-window timeline.
+
+    The fail-over figures (Figs 8-14) plot throughput over time around
+    an injected crash; this accumulates commit events into fixed
+    windows so the harness can print the same series.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._windows: Dict[int, int] = {}
+
+    def record(self, timestamp: float, count: int = 1) -> None:
+        """Count *count* committed operations at *timestamp*."""
+        self._windows[int(timestamp / self.window)] = (
+            self._windows.get(int(timestamp / self.window), 0) + count
+        )
+
+    @property
+    def total(self) -> int:
+        """Total operations recorded across all windows."""
+        return sum(self._windows.values())
+
+    def series(self, start: float = 0.0, end: float = None) -> List[Tuple[float, float]]:
+        """Return [(window start time, throughput in ops/sec)] pairs."""
+        if not self._windows and end is None:
+            return []
+        first = int(start / self.window)
+        last = max(self._windows) if end is None else int(end / self.window)
+        return [
+            (index * self.window, self._windows.get(index, 0) / self.window)
+            for index in range(first, last + 1)
+        ]
+
+    def rate_between(self, start: float, end: float) -> float:
+        """Mean throughput (ops/sec) over [start, end)."""
+        if end <= start:
+            raise ValueError("end must exceed start")
+        first = int(start / self.window)
+        last = int(end / self.window)
+        total = sum(
+            count for index, count in self._windows.items() if first <= index < last
+        )
+        return total / (end - start)
+
+
+def percentile_of_sorted(sorted_values: Sequence[float], pct: float) -> float:
+    """Exact percentile of an already-sorted sequence (for tests)."""
+    if not sorted_values:
+        return 0.0
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile out of range: {pct}")
+    rank = pct / 100.0 * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac

@@ -1,0 +1,9 @@
+"""OLTP workloads: TPC-C, TATP, SmallBank, and the microbenchmark."""
+
+from repro.workloads.base import Workload
+from repro.workloads.microbench import MicroBenchmark
+from repro.workloads.smallbank import SmallBank
+from repro.workloads.tatp import Tatp
+from repro.workloads.tpcc import TpcC
+
+__all__ = ["MicroBenchmark", "SmallBank", "Tatp", "TpcC", "Workload"]

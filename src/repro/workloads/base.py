@@ -1,0 +1,48 @@
+"""Workload interface consumed by coordinators and the harness.
+
+A workload owns its schema, its initial data, and a transaction
+generator. Transaction *logic* is a callable ``logic(tx)``; it may be a
+plain function (local buffering only, e.g. blind writes) or a generator
+function that performs reads with ``yield from tx.read(...)``. The
+protocol engine runs the logic inside a transaction attempt, retrying
+per the coordinator's policy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict
+
+__all__ = ["Workload"]
+
+
+class Workload:
+    """Base class; subclasses fill in schema, data, and transactions."""
+
+    name = "workload"
+
+    def create_schema(self, catalog) -> None:
+        """Register the tables of this workload in the catalog."""
+        raise NotImplementedError
+
+    def load(self, catalog, memory_nodes: Dict[int, Any], rng: random.Random) -> None:
+        """Bulk-load initial data into every replica."""
+        raise NotImplementedError
+
+    def next_transaction(self, rng: random.Random) -> Callable:
+        """Produce the logic callable of the next transaction."""
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def pick(rng: random.Random, weighted: Dict[str, float]) -> str:
+        """Pick a transaction kind from a {name: weight} mix."""
+        total = sum(weighted.values())
+        point = rng.random() * total
+        running = 0.0
+        for name, weight in weighted.items():
+            running += weight
+            if point < running:
+                return name
+        return name  # numerical edge: return the last kind

@@ -1,0 +1,121 @@
+"""The paper's microbenchmark: 8B keys, 40B values, tunable write ratio.
+
+Used for Fig 6 (PILL steady-state overhead), Fig 7 (MTTF sweep), Fig 8
+(fail-over throughput), and Figs 13-14 (hot-object contention with
+1 000 / 100 000 hot keys). ``hot_keys`` shrinks the accessed keyspace
+to create contention; ``write_ratio`` sweeps the read/write mix;
+``rmw=False`` issues blind pipelined writes (the 100%-write
+configuration of §6.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional
+
+from repro.util.zipf import ZipfSampler
+from repro.workloads.base import Workload
+
+__all__ = ["MicroBenchmark"]
+
+TABLE_KV = 0
+
+
+class MicroBenchmark(Workload):
+    """Single-table key-value microbenchmark."""
+
+    name = "microbench"
+
+    def __init__(
+        self,
+        num_keys: int = 100_000,
+        value_size: int = 40,
+        write_ratio: float = 1.0,
+        ops_per_txn: int = 2,
+        hot_keys: Optional[int] = None,
+        zipf_theta: float = 0.0,
+        rmw: bool = False,
+    ) -> None:
+        if not 0.0 <= write_ratio <= 1.0:
+            raise ValueError("write_ratio must be in [0, 1]")
+        if ops_per_txn < 1:
+            raise ValueError("ops_per_txn must be >= 1")
+        if hot_keys is not None and not 0 < hot_keys <= num_keys:
+            raise ValueError("hot_keys must be in (0, num_keys]")
+        self.num_keys = num_keys
+        self.value_size = value_size
+        self.write_ratio = write_ratio
+        self.ops_per_txn = ops_per_txn
+        self.hot_keys = hot_keys if hot_keys is not None else num_keys
+        self.zipf_theta = zipf_theta
+        self.rmw = rmw
+        self._zipf: Optional[ZipfSampler] = None
+        if zipf_theta > 0:
+            self._zipf = ZipfSampler(self.hot_keys, zipf_theta, random.Random(7))
+
+    # -- schema & data -------------------------------------------------------
+
+    def create_schema(self, catalog) -> None:
+        from repro.kvs.catalog import TableSpec
+
+        catalog.add_table(
+            TableSpec(
+                table_id=TABLE_KV,
+                name="kv",
+                max_keys=self.num_keys,
+                value_size=self.value_size,
+            )
+        )
+
+    def load(self, catalog, memory_nodes: Dict[int, Any], rng: random.Random) -> None:
+        catalog.load(
+            memory_nodes, TABLE_KV, ((key, 0) for key in range(self.num_keys))
+        )
+
+    # -- transactions -------------------------------------------------------------
+
+    def _sample_key(self, rng: random.Random) -> int:
+        if self._zipf is not None:
+            return self._zipf.sample_with(rng)
+        return rng.randrange(self.hot_keys)
+
+    def next_transaction(self, rng: random.Random) -> Callable:
+        keys = []
+        while len(keys) < self.ops_per_txn:
+            key = self._sample_key(rng)
+            if key not in keys:
+                keys.append(key)
+        is_write = [rng.random() < self.write_ratio for _ in keys]
+        stamp = rng.getrandbits(30)
+
+        if self.rmw:
+
+            def rmw_logic(tx):
+                for key, write in zip(keys, is_write):
+                    if write:
+                        value = yield from tx.read_for_update("kv", key)
+                        tx.write("kv", key, (value or 0) + 1)
+                    else:
+                        yield from tx.read("kv", key)
+                return None
+
+            return rmw_logic
+
+        def blind_logic(tx):
+            for key, write in zip(keys, is_write):
+                if write:
+                    tx.write("kv", key, stamp)
+                else:
+                    yield from tx.read("kv", key)
+            return None
+
+        if any(not write for write in is_write):
+            return blind_logic
+
+        # Pure blind writes: no reads, so plain (non-generator) logic.
+        def pure_write_logic(tx):
+            for key in keys:
+                tx.write("kv", key, stamp)
+            return None
+
+        return pure_write_logic

@@ -1,0 +1,150 @@
+"""Tests for cluster configuration, wiring, and restart."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.cluster.config import ClusterConfig as Config
+from repro.workloads import MicroBenchmark
+
+
+def workload():
+    return MicroBenchmark(num_keys=200, write_ratio=1.0)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        Config().validate()
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            Config(protocol="raft").validate()
+
+    def test_replication_exceeds_memory_nodes(self):
+        with pytest.raises(ValueError):
+            Config(memory_nodes=2, replication_degree=3).validate()
+
+    def test_recovery_mode_mapping(self):
+        assert Config(protocol="pandora").recovery_mode == "pill"
+        assert Config(protocol="baseline").recovery_mode == "scan"
+        assert Config(protocol="ford").recovery_mode == "scan"
+        assert Config(protocol="tradlog").recovery_mode == "locklog"
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Config(compute_nodes=0).validate()
+
+
+class TestWiring:
+    def test_coordinator_ids_unique_across_nodes(self):
+        cluster = Cluster(Config(coordinators_per_node=8), workload())
+        ids = [c.coord_id for c in cluster.all_coordinators()]
+        assert len(ids) == len(set(ids)) == 16
+
+    def test_double_start_raises(self):
+        cluster = Cluster(Config(), workload())
+        cluster.start()
+        with pytest.raises(RuntimeError):
+            cluster.start()
+
+    def test_live_coordinator_count(self):
+        cluster = Cluster(Config(coordinators_per_node=4), workload())
+        cluster.start()
+        assert cluster.live_coordinator_count() == 8
+        cluster.crash_compute(0)
+        assert cluster.live_coordinator_count() == 4
+
+    def test_protocol_selection(self):
+        for name, expected in [
+            ("pandora", "pandora"),
+            ("ford", "ford"),
+            ("baseline", "ford"),
+            ("tradlog", "tradlog"),
+        ]:
+            cluster = Cluster(Config(protocol=name), workload())
+            engine = cluster.all_coordinators()[0].engine
+            assert engine.name == expected
+
+    def test_ford_published_keeps_bugs(self):
+        cluster = Cluster(Config(protocol="ford"), workload())
+        assert cluster.all_coordinators()[0].engine.bugs.any_enabled()
+
+    def test_baseline_fixes_bugs(self):
+        cluster = Cluster(Config(protocol="baseline"), workload())
+        assert not cluster.all_coordinators()[0].engine.bugs.any_enabled()
+
+
+class TestRestart:
+    def test_restart_assigns_fresh_ids(self):
+        cluster = Cluster(Config(coordinators_per_node=4, seed=3), workload())
+        cluster.start()
+        node = cluster.compute_nodes[0]
+        old_ids = set(node.coordinator_ids())
+        cluster.run(until=0.005)
+        node.crash()
+        cluster.run(until=0.015)
+        cluster.restart_compute(node)
+        new_ids = set(node.coordinator_ids())
+        assert old_ids.isdisjoint(new_ids)
+        assert node.alive
+
+    def test_restart_preserves_retired_stats(self):
+        cluster = Cluster(Config(coordinators_per_node=4, seed=3), workload())
+        cluster.start()
+        cluster.run(until=0.010)
+        commits_before = cluster.aggregate_stats().commits
+        node = cluster.compute_nodes[0]
+        node.crash()
+        cluster.restart_compute(node)
+        assert cluster.aggregate_stats().commits >= commits_before
+
+    def test_restart_unrevokes_links(self):
+        cluster = Cluster(
+            Config(coordinators_per_node=2, seed=3, fd_timeout=2e-3), workload()
+        )
+        cluster.start()
+        cluster.crash_compute(0, at=0.005)
+        cluster.run(until=0.020)  # recovery revokes node 0 everywhere
+        cluster.restart_compute(cluster.compute_nodes[0])
+        for memory in cluster.memory_nodes.values():
+            assert not memory.is_revoked(0)
+
+    def test_restart_receives_full_failed_ids(self):
+        """§3.1.2: failures during a node's downtime reach it via the
+        FD's initial configuration on rejoin."""
+        cluster = Cluster(
+            Config(
+                compute_nodes=3,
+                coordinators_per_node=2,
+                seed=3,
+                fd_timeout=2e-3,
+                fd_heartbeat_interval=0.5e-3,
+            ),
+            workload(),
+        )
+        cluster.start()
+        node_a = cluster.compute_nodes[0]
+        node_b = cluster.compute_nodes[1]
+        ids_b = set(node_b.coordinator_ids())
+        node_a.crash()  # down while B fails
+        cluster.run(until=0.010)
+        cluster.crash_compute(1, at=0.010)
+        cluster.run(until=0.030)  # B's failure recovered; A still down
+        cluster.restart_compute(node_a)
+        assert ids_b.issubset(set(node_a.failed_ids))
+
+    def test_restarted_node_commits_again(self):
+        cluster = Cluster(
+            Config(
+                coordinators_per_node=2,
+                seed=3,
+                fd_timeout=2e-3,
+                restart_failed_after=2e-3,
+            ),
+            workload(),
+        )
+        cluster.start()
+        cluster.crash_compute(0, at=0.010)
+        cluster.run(until=0.060)
+        node = cluster.compute_nodes[0]
+        assert node.alive
+        assert sum(c.stats.commits for c in node.coordinators) > 0

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_litmus_defaults(self):
+        args = build_parser().parse_args(["litmus"])
+        assert args.protocol == "pandora"
+        assert args.rounds == 30
+
+    def test_steady_options(self):
+        args = build_parser().parse_args(
+            ["steady", "--workload", "tatp", "--protocol", "tradlog"]
+        )
+        assert args.workload == "tatp"
+        assert args.protocol == "tradlog"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["steady", "--protocol", "raft"])
+
+    def test_failover_crash_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["failover", "--crash", "disk"])
+
+
+class TestCommands:
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "log-recovery latency" in out
+
+    def test_steady_runs(self, capsys):
+        assert main(["steady", "--workload", "micro", "--duration-ms", "4"]) == 0
+        assert "microbench" in capsys.readouterr().out
+
+    def test_recovery_latency_runs(self, capsys):
+        assert main(["recovery-latency", "--coordinators", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "latency (us)" in out
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main(["steady", "--workload", "nope"])

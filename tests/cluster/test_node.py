@@ -1,0 +1,103 @@
+"""Unit tests for ComputeNode lifecycle and pause semantics."""
+
+import pytest
+
+from repro.cluster.node import ComputeNode
+from repro.sim import Simulator
+
+
+class _StubVerbs:
+    pass
+
+
+class _StubCatalog:
+    pass
+
+
+def make_node(sim=None, node_id=0):
+    return ComputeNode(sim or Simulator(), node_id, _StubVerbs(), _StubCatalog())
+
+
+class TestLifecycle:
+    def test_starts_alive_and_unpaused(self):
+        node = make_node()
+        assert node.alive and not node.paused and not node.fenced
+
+    def test_crash_is_idempotent(self):
+        node = make_node()
+        node.crash()
+        first = node.crash_time
+        node.crash()
+        assert node.crash_time == first
+
+    def test_fencing_crashes_the_node(self):
+        node = make_node()
+        node.on_fenced(None)
+        assert node.fenced and not node.alive
+
+
+class TestFailedIds:
+    def test_accumulates(self):
+        node = make_node()
+        node.add_failed_ids([1, 2])
+        node.add_failed_ids([2, 3])
+        assert set(node.failed_ids) == {1, 2, 3}
+
+
+class TestPause:
+    def test_wait_if_paused_blocks_until_resume(self):
+        sim = Simulator()
+        node = make_node(sim)
+        node.pause()
+        progress = []
+
+        def proc():
+            yield from node.wait_if_paused()
+            progress.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=1.0)
+        assert progress == []
+        sim.call_at(2.0, node.resume)
+        sim.run()
+        assert progress == [2.0]
+
+    def test_wait_if_unpaused_is_immediate(self):
+        sim = Simulator()
+        node = make_node(sim)
+        done = []
+
+        def proc():
+            yield from node.wait_if_paused()
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [0.0]
+
+    def test_double_pause_single_resume(self):
+        sim = Simulator()
+        node = make_node(sim)
+        node.pause()
+        node.pause()
+        node.resume()
+        assert not node.paused
+
+    def test_repeated_pause_cycles(self):
+        sim = Simulator()
+        node = make_node(sim)
+        wakeups = []
+
+        def proc():
+            for _ in range(3):
+                yield from node.wait_if_paused()
+                wakeups.append(sim.now)
+                yield sim.timeout(1.0)
+
+        sim.process(proc())
+        node.pause()
+        sim.call_at(1.0, node.resume)
+        sim.call_at(1.5, node.pause)
+        sim.call_at(3.0, node.resume)
+        sim.run()
+        assert len(wakeups) == 3

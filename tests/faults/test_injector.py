@@ -1,0 +1,133 @@
+"""Tests for the fault injector and MTTF process."""
+
+import random
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.faults.injector import CrashPlan, FaultInjector
+from repro.faults.mttf import MttfProcess
+from repro.sim import Simulator
+from repro.workloads import MicroBenchmark
+
+
+def make_cluster(**overrides):
+    defaults = dict(coordinators_per_node=2, seed=41)
+    defaults.update(overrides)
+    cluster = Cluster(
+        ClusterConfig(**defaults), MicroBenchmark(num_keys=200, write_ratio=1.0)
+    )
+    cluster.start()
+    return cluster
+
+
+class TestTimedCrash:
+    def test_crash_at_time(self):
+        cluster = make_cluster()
+        cluster.crash_compute(0, at=0.005)
+        cluster.run(until=0.006)
+        assert not cluster.compute_nodes[0].alive
+        assert cluster.compute_nodes[0].crash_time == pytest.approx(0.005)
+
+    def test_crash_records_event(self):
+        cluster = make_cluster()
+        cluster.injector.crash_at(cluster.compute_nodes[0], 0.003)
+        cluster.run(until=0.004)
+        assert cluster.injector.crashes[0][1] == 0
+
+    def test_crash_on_dead_node_is_noop(self):
+        cluster = make_cluster()
+        cluster.injector.crash_at(cluster.compute_nodes[0], 0.002)
+        cluster.injector.crash_at(cluster.compute_nodes[0], 0.003)
+        cluster.run(until=0.004)
+        assert len(cluster.injector.crashes) == 1
+
+
+class TestCrashPoints:
+    def test_crash_on_named_point(self):
+        cluster = make_cluster()
+        cluster.injector.crash_on_point(0, "locked", nth=1)
+        cluster.run(until=0.010)
+        assert not cluster.compute_nodes[0].alive
+        assert cluster.injector.crashes[0][2] == "locked"
+
+    def test_nth_occurrence(self):
+        first = make_cluster()
+        first.injector.crash_on_point(0, "locked", nth=1)
+        first.run(until=0.010)
+        later = make_cluster()
+        later.injector.crash_on_point(0, "locked", nth=30)
+        later.run(until=0.010)
+        assert later.compute_nodes[0].crash_time > first.compute_nodes[0].crash_time
+
+    def test_plan_fires_once(self):
+        cluster = make_cluster(restart_failed_after=1e-3, fd_timeout=2e-3)
+        plan = cluster.injector.crash_on_point(0, "locked", nth=1)
+        cluster.run(until=0.050)
+        assert plan.fired
+        # The node restarted and was not re-crashed by the same plan.
+        assert cluster.compute_nodes[0].alive
+
+    def test_point_mismatch_does_not_fire(self):
+        cluster = make_cluster()
+        cluster.injector.crash_on_point(0, "no-such-point", nth=1)
+        cluster.run(until=0.010)
+        assert cluster.compute_nodes[0].alive
+
+    def test_clear_plans(self):
+        cluster = make_cluster()
+        cluster.injector.crash_on_point(0, "locked", nth=50_000)
+        cluster.injector.clear(0)
+        assert cluster.injector._plans_by_node.get(0) in (None, [])
+
+    def test_other_nodes_unaffected(self):
+        cluster = make_cluster()
+        cluster.injector.crash_on_point(0, "locked", nth=1)
+        cluster.run(until=0.010)
+        assert cluster.compute_nodes[1].alive
+
+    def test_crash_point_without_plans_is_free(self):
+        injector = FaultInjector(Simulator())
+
+        class FakeNode:
+            node_id = 9
+
+        class FakeCoordinator:
+            node = FakeNode()
+
+        assert injector.crash_point("locked", FakeCoordinator()) is None
+
+
+class TestMttfProcess:
+    def test_crash_restore_cycles(self):
+        cluster = make_cluster(fd_timeout=1e-3, fd_heartbeat_interval=0.3e-3)
+        node = cluster.compute_nodes[0]
+        mttf = MttfProcess(
+            cluster.sim,
+            node,
+            restart=cluster.restart_compute,
+            mttf=5e-3,
+            repair_time=1e-3,
+            rng=random.Random(5),
+        )
+        mttf.start()
+        cluster.run(until=0.060)
+        assert mttf.crash_count >= 3
+        # The node ends up alive (restored) or mid-repair; either way
+        # the cluster kept making progress.
+        assert cluster.aggregate_stats().commits > 0
+
+    def test_invalid_mttf(self):
+        with pytest.raises(ValueError):
+            MttfProcess(Simulator(), None, None, mttf=0)
+
+    def test_stop(self):
+        cluster = make_cluster()
+        node = cluster.compute_nodes[0]
+        mttf = MttfProcess(
+            cluster.sim, node, cluster.restart_compute, mttf=100.0
+        )
+        mttf.start()
+        mttf.stop()
+        cluster.run(until=0.010)
+        assert node.alive

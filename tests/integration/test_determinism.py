@@ -1,0 +1,54 @@
+"""Determinism: identical seeds must reproduce identical histories.
+
+This is the property that makes litmus failures replayable and the
+benchmarks stable; any accidental use of global randomness or
+dict-order dependence would break it.
+"""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import MicroBenchmark, SmallBank
+
+
+def run_once(seed, crash=False, protocol="pandora"):
+    cluster = Cluster(
+        ClusterConfig(
+            protocol=protocol,
+            coordinators_per_node=3,
+            seed=seed,
+            fd_timeout=2e-3,
+            fd_heartbeat_interval=0.5e-3,
+        ),
+        MicroBenchmark(num_keys=300, write_ratio=0.8, rmw=True, hot_keys=50),
+    )
+    cluster.start()
+    if crash:
+        cluster.crash_compute(0, at=0.006)
+    cluster.run(until=0.015)
+    stats = cluster.aggregate_stats()
+    fingerprint = [stats.commits, stats.aborts, stats.locks_stolen]
+    # Fold in final memory state.
+    state = 0
+    for memory in cluster.memory_nodes.values():
+        for table in memory.tables.values():
+            for slot in table:
+                state = (state * 1000003 + hash((slot.version, slot.value))) & (
+                    (1 << 61) - 1
+                )
+    fingerprint.append(state)
+    return fingerprint
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_runs(self):
+        assert run_once(123) == run_once(123)
+
+    def test_identical_seeds_identical_runs_with_crash(self):
+        assert run_once(77, crash=True) == run_once(77, crash=True)
+
+    def test_different_seeds_differ(self):
+        assert run_once(1) != run_once(2)
+
+    def test_determinism_for_baseline_protocol(self):
+        assert run_once(9, protocol="baseline") == run_once(9, protocol="baseline")

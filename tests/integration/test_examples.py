@@ -1,0 +1,35 @@
+"""Smoke test: the quickstart example must stay runnable end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+class TestExamples:
+    def test_quickstart_runs_clean(self):
+        result = subprocess.run(
+            [sys.executable, os.path.join(REPO_ROOT, "examples", "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "log-recovery latency" in result.stdout
+        assert "stray locks stolen" in result.stdout
+
+    def test_example_files_present(self):
+        examples = os.listdir(os.path.join(REPO_ROOT, "examples"))
+        expected = {
+            "quickstart.py",
+            "bank_failover.py",
+            "litmus_validation.py",
+            "custom_workload.py",
+            "failover_timeline.py",
+        }
+        assert expected.issubset(set(examples))

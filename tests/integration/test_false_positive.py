@@ -1,0 +1,65 @@
+"""False-positive suspicion (Cor1): fencing keeps memory safe.
+
+A compute node whose heartbeats are lost — but which is still alive
+and issuing transactions — gets declared failed. Active-link
+termination must fence it before log recovery touches its state, so
+that nothing it sends afterwards lands, and the store stays
+consistent.
+"""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import SmallBank
+from repro.workloads.smallbank import INITIAL_BALANCE
+
+ACCOUNTS = 400
+
+
+def run_false_positive():
+    workload = SmallBank(accounts=ACCOUNTS, conserving_only=True)
+    cluster = Cluster(
+        ClusterConfig(
+            protocol="pandora",
+            coordinators_per_node=4,
+            seed=91,
+            fd_timeout=2e-3,
+            fd_heartbeat_interval=0.5e-3,
+            fd_check_interval=0.25e-3,
+        ),
+        workload,
+    )
+    cluster.start()
+    cluster.run(until=0.008)
+    victim = cluster.compute_nodes[0]
+    # Partition heartbeats only: the node itself keeps running.
+    victim._heartbeat_process.kill()
+    victim._heartbeat_process = None
+    cluster.run(until=0.040)
+    return workload, cluster, victim
+
+
+class TestFalsePositive:
+    def test_victim_is_fenced_not_split_brained(self):
+        _workload, cluster, victim = run_false_positive()
+        assert victim.fenced
+        assert all(m.is_revoked(0) for m in cluster.memory_nodes.values())
+
+    def test_money_conserved_despite_false_positive(self):
+        workload, cluster, _victim = run_false_positive()
+        for node in cluster.compute_nodes.values():
+            node.pause()
+        cluster.run(until=0.042)
+        total = workload.total_balance(cluster.catalog, cluster.memory_nodes)
+        assert total == 2 * ACCOUNTS * INITIAL_BALANCE
+
+    def test_survivor_keeps_committing(self):
+        _workload, cluster, _victim = run_false_positive()
+        post = cluster.timeline.rate_between(0.030, 0.040)
+        assert post > 0
+
+    def test_recovery_record_exists(self):
+        _workload, cluster, _victim = run_false_positive()
+        records = [r for r in cluster.recovery.records if r.kind == "compute"]
+        assert len(records) == 1
+        assert records[0].node_id == 0

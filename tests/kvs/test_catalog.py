@@ -1,0 +1,85 @@
+"""Tests for the catalog: schemas, key addressing, provisioning."""
+
+import pytest
+
+from repro.kvs.catalog import Catalog, TableSpec
+from repro.kvs.placement import Placement
+from repro.memory.node import MemoryNode
+
+
+@pytest.fixture
+def catalog():
+    placement = Placement([0, 1, 2], replication_degree=2)
+    cat = Catalog(placement)
+    cat.add_table(TableSpec(table_id=0, name="accounts", max_keys=100, value_size=16))
+    return cat
+
+
+class TestSchema:
+    def test_lookup_by_name_and_id(self, catalog):
+        assert catalog.table("accounts").table_id == 0
+        assert catalog.table(0).name == "accounts"
+
+    def test_duplicate_id_raises(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.add_table(TableSpec(0, "other", 10, 8))
+
+    def test_duplicate_name_raises(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.add_table(TableSpec(1, "accounts", 10, 8))
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            TableSpec(0, "t", 0, 8)
+        with pytest.raises(ValueError):
+            TableSpec(0, "t", 10, 0)
+
+
+class TestAddressing:
+    def test_slots_are_dense_and_stable(self, catalog):
+        first = catalog.slot_for(0, "alice")
+        second = catalog.slot_for(0, "bob")
+        assert (first, second) == (0, 1)
+        assert catalog.slot_for(0, "alice") == 0  # stable on re-query
+
+    def test_composite_keys(self, catalog):
+        slot = catalog.slot_for(0, (3, 7, "order"))
+        assert catalog.slot_for(0, (3, 7, "order")) == slot
+
+    def test_keyspace_exhaustion(self, catalog):
+        for key in range(100):
+            catalog.slot_for(0, key)
+        with pytest.raises(RuntimeError):
+            catalog.slot_for(0, "one-too-many")
+
+    def test_key_count(self, catalog):
+        catalog.slot_for(0, "x")
+        catalog.slot_for(0, "y")
+        assert catalog.key_count(0) == 2
+
+
+class TestProvisioningAndLoad:
+    def test_provision_creates_tables_everywhere(self, catalog):
+        nodes = {i: MemoryNode(i) for i in range(3)}
+        catalog.provision(nodes.values())
+        for node in nodes.values():
+            assert 0 in node.tables
+            assert len(node.tables[0]) == 100
+
+    def test_load_replicates_to_all_replicas(self, catalog):
+        nodes = {i: MemoryNode(i) for i in range(3)}
+        catalog.provision(nodes.values())
+        count = catalog.load(nodes, 0, [("acct-1", 500)])
+        assert count == 1
+        slot = catalog.slot_for(0, "acct-1")
+        replicas = catalog.replicas(0, slot)
+        assert len(replicas) == 2
+        for node_id in replicas:
+            assert nodes[node_id].slot(0, slot).value == 500
+            assert nodes[node_id].slot(0, slot).present
+
+    def test_total_dataset_bytes(self, catalog):
+        nodes = {i: MemoryNode(i) for i in range(3)}
+        catalog.provision(nodes.values())
+        catalog.load(nodes, 0, [(k, 0) for k in range(10)])
+        assert catalog.total_dataset_bytes() == 10 * (16 + 16)

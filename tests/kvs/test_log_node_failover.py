@@ -1,0 +1,37 @@
+"""Log-server placement under memory failures (§3.1.4 + §3.2.5)."""
+
+import pytest
+
+from repro.kvs.placement import Placement
+
+
+class TestLogNodeFailover:
+    def test_log_nodes_promote_on_failure(self):
+        placement = Placement([0, 1, 2, 3], replication_degree=2)
+        before = placement.log_nodes(coord_id=5)
+        victim = before[0]
+        placement.mark_down(victim)
+        after = placement.log_nodes(coord_id=5)
+        assert victim not in after
+        assert len(after) == 2
+        # The surviving log server keeps its role (stable prefix).
+        assert before[1] in after
+
+    def test_log_nodes_restored_on_mark_up(self):
+        placement = Placement([0, 1, 2], replication_degree=2)
+        before = placement.log_nodes(coord_id=9)
+        placement.mark_down(before[0])
+        placement.mark_up(before[0])
+        assert placement.log_nodes(coord_id=9) == before
+
+    def test_too_many_failures_raise(self):
+        placement = Placement([0, 1], replication_degree=2)
+        placement.mark_down(0)
+        with pytest.raises(RuntimeError):
+            placement.log_nodes(coord_id=1)
+
+    def test_different_coordinators_spread_over_nodes(self):
+        placement = Placement(list(range(6)), replication_degree=2)
+        primaries = {placement.log_nodes(coord)[0] for coord in range(64)}
+        # Consistent hashing spreads coordinators' log primaries.
+        assert len(primaries) >= 4

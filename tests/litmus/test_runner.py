@@ -1,0 +1,122 @@
+"""Litmus campaigns: Pandora passes, seeded FORD bugs are caught."""
+
+import pytest
+
+from repro.litmus import (
+    LITMUS_SUITE,
+    LitmusRunner,
+    litmus1_direct_write,
+    litmus2_read_write,
+    litmus3_indirect_write,
+)
+from repro.protocol.types import BugFlags
+
+# Campaigns are deliberately small so the suite stays fast; the
+# benchmark harness runs the full-size versions.
+ROUNDS = 25
+
+
+class TestPandoraPasses:
+    @pytest.mark.parametrize("spec", LITMUS_SUITE(), ids=lambda s: s.name)
+    def test_failure_free(self, spec):
+        report = LitmusRunner(spec, protocol="pandora", rounds=ROUNDS, seed=11).run()
+        assert report.passed, report.violations[:3]
+        assert report.commits > 0
+
+    @pytest.mark.parametrize("spec", LITMUS_SUITE(), ids=lambda s: s.name)
+    def test_with_crash_injection(self, spec):
+        report = LitmusRunner(
+            spec,
+            protocol="pandora",
+            rounds=ROUNDS,
+            crash_probability=0.5,
+            seed=11,
+        ).run()
+        assert report.passed, report.violations[:3]
+        assert report.crashes_injected > 0
+
+
+class TestBaselineFixedPasses:
+    """FORD online component with the Table 1 bugs fixed + scan
+    recovery must also be consistent (it is just slow)."""
+
+    def test_litmus3_with_crashes(self):
+        report = LitmusRunner(
+            litmus3_indirect_write(),
+            protocol="baseline",
+            rounds=15,
+            crash_probability=0.4,
+            seed=11,
+        ).run()
+        assert report.passed, report.violations[:3]
+
+
+class TestBugsAreCaught:
+    """Each online (C1) bug must be exposed by its litmus test.
+
+    The recovery-path (C2) bugs are demonstrated deterministically in
+    test_scenarios.py; these campaigns cover the racy online bugs.
+    """
+
+    def test_covert_locks_caught_by_litmus2(self):
+        report = LitmusRunner(
+            litmus2_read_write(),
+            protocol="pandora",
+            bugs=BugFlags(covert_locks=True),
+            rounds=40,
+            seed=2,
+            copies=2,
+        ).run()
+        assert not report.passed
+        # The violating state is exactly the read-write cycle X == Y.
+        violation = report.violations[0]
+        assert violation.values["X"] == violation.values["Y"]
+
+    def test_relaxed_locks_caught_by_litmus2(self):
+        report = LitmusRunner(
+            litmus2_read_write(),
+            protocol="pandora",
+            bugs=BugFlags(relaxed_locks=True),
+            rounds=100,
+            seed=1,
+            copies=1,
+        ).run()
+        assert not report.passed
+
+    def test_complicit_abort_caught_by_litmus3(self):
+        report = LitmusRunner(
+            litmus3_indirect_write(),
+            protocol="pandora",
+            bugs=BugFlags(complicit_abort=True),
+            rounds=100,
+            seed=3,
+            copies=3,
+        ).run()
+        assert not report.passed
+
+    def test_published_ford_fails_litmus2(self):
+        """FORD exactly as shipped violates strict serializability."""
+        report = LitmusRunner(
+            litmus2_read_write(),
+            protocol="ford",
+            rounds=40,
+            seed=2,
+            copies=2,
+        ).run()
+        assert not report.passed
+
+
+class TestReportShape:
+    def test_summary_format(self):
+        report = LitmusRunner(
+            litmus1_direct_write(), protocol="pandora", rounds=3, seed=1
+        ).run()
+        text = report.summary()
+        assert "litmus-1" in text
+        assert "PASS" in text
+
+    def test_rounds_counted(self):
+        report = LitmusRunner(
+            litmus1_direct_write(), protocol="pandora", rounds=5, seed=1
+        ).run()
+        assert report.rounds == 5

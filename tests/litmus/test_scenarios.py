@@ -1,0 +1,100 @@
+"""Directed scenarios: deterministic replays of every Table 1 bug.
+
+Each scenario stages the exact schedule the paper describes (§5.1)
+through the real protocol + failure detector + recovery manager, and
+must corrupt state with the bug enabled and stay consistent with the
+fix (and with Pandora).
+"""
+
+import pytest
+
+from repro.litmus.scenarios import (
+    run_complicit_abort_scenario,
+    run_log_without_lock_scenario,
+    run_lost_decision_scenario,
+    run_missing_insert_log_scenario,
+)
+from repro.protocol.types import BugFlags
+
+
+class TestLostDecision:
+    def test_buggy_ford_corrupts(self):
+        report = run_lost_decision_scenario(
+            "baseline", BugFlags(lost_decision=True)
+        )
+        assert not report.consistent
+        # Recovery rolled X back below a committed dependent write.
+        assert (report.values["X"] or 0) < (report.values["Z"] or 0)
+
+    def test_fixed_ford_is_consistent(self):
+        report = run_lost_decision_scenario("baseline", BugFlags())
+        assert report.consistent
+
+    def test_pandora_is_consistent(self):
+        report = run_lost_decision_scenario("pandora", None)
+        assert report.consistent
+
+    def test_tradlog_is_consistent(self):
+        report = run_lost_decision_scenario("tradlog", None)
+        assert report.consistent
+
+
+class TestLogWithoutLock:
+    def test_buggy_ford_corrupts(self):
+        report = run_log_without_lock_scenario(
+            "baseline", BugFlags(log_without_lock=True)
+        )
+        assert not report.consistent
+
+    def test_fixed_ford_is_consistent(self):
+        report = run_log_without_lock_scenario("baseline", BugFlags())
+        assert report.consistent
+
+    def test_pandora_is_consistent(self):
+        report = run_log_without_lock_scenario("pandora", None)
+        assert report.consistent
+
+
+class TestMissingInsertLog:
+    def test_buggy_ford_leaves_partial_insert(self):
+        report = run_missing_insert_log_scenario(
+            "baseline", BugFlags(missing_insert_log=True)
+        )
+        assert not report.consistent
+        assert report.values["X"] is not None
+        assert report.values["Y"] is None
+
+    def test_fixed_ford_rolls_back_both(self):
+        report = run_missing_insert_log_scenario("baseline", BugFlags())
+        assert report.consistent
+        # The crash hit mid-commit, so the fix rolls both inserts back.
+        assert report.values["X"] is None and report.values["Y"] is None
+
+    def test_pandora_is_consistent(self):
+        report = run_missing_insert_log_scenario("pandora", None)
+        assert report.consistent
+
+
+class TestComplicitAbort:
+    def test_buggy_abort_frees_foreign_locks(self):
+        report = run_complicit_abort_scenario(
+            "pandora", BugFlags(complicit_abort=True)
+        )
+        assert not report.consistent
+        # A lost update: X counts fewer increments than committed.
+        assert report.values["X"] < report.values["committed_increments"]
+
+    def test_fixed_abort_releases_only_own(self):
+        report = run_complicit_abort_scenario("pandora", None)
+        assert report.consistent
+
+    def test_fixed_ford_also_consistent(self):
+        report = run_complicit_abort_scenario("baseline", None)
+        assert report.consistent
+
+
+class TestScenarioReport:
+    def test_summary_contains_state(self):
+        report = run_missing_insert_log_scenario("pandora", None)
+        assert "missing-insert-log" in report.summary()
+        assert "consistent" in report.summary()

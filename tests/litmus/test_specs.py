@@ -1,0 +1,119 @@
+"""Unit tests for the litmus specifications themselves."""
+
+import pytest
+
+from repro.litmus.specs import (
+    ABSENT,
+    LITMUS_SUITE,
+    compound_litmus,
+    litmus1_direct_write,
+    litmus1_insert_delete,
+    litmus2_read_write,
+    litmus3_extended,
+    litmus3_indirect_write,
+    stretched_litmus,
+)
+
+
+class _Outcome:
+    def __init__(self, committed):
+        self.committed = committed
+
+
+class TestSuiteShape:
+    def test_suite_has_seven_specs(self):
+        suite = LITMUS_SUITE()
+        assert len(suite) == 7
+        assert len({spec.name for spec in suite}) == 7
+
+    def test_every_spec_has_writers_and_check(self):
+        for spec in LITMUS_SUITE():
+            assert spec.writers
+            assert callable(spec.check)
+            assert set(spec.initial) == set(spec.keys)
+
+
+class TestLitmus1Check:
+    def test_equal_values_pass(self):
+        spec = litmus1_direct_write()
+        assert spec.check({"X": 1, "Y": 1}, [])
+        assert spec.check({"X": 2, "Y": 2}, [])
+
+    def test_mixed_values_fail(self):
+        spec = litmus1_direct_write()
+        assert not spec.check({"X": 1, "Y": 2}, [])
+
+    def test_violation_description(self):
+        spec = litmus1_direct_write()
+        text = spec.describe_violation({"X": 1, "Y": 2})
+        assert "litmus-1" in text and "X=1" in text
+
+
+class TestLitmus1InsertCheck:
+    def test_presence_must_agree(self):
+        spec = litmus1_insert_delete()
+        assert spec.check({"X": None, "Y": None}, [])
+        assert spec.check({"X": 1, "Y": 1}, [])
+        assert not spec.check({"X": 1, "Y": None}, [])
+
+    def test_initial_state_is_absent(self):
+        spec = litmus1_insert_delete()
+        assert spec.initial["X"] is ABSENT
+
+
+class TestLitmus2Check:
+    def test_untouched_state_ok(self):
+        spec = litmus2_read_write()
+        assert spec.check({"X": 0, "Y": 0}, [])
+
+    def test_cycle_state_fails(self):
+        spec = litmus2_read_write()
+        assert not spec.check({"X": 1, "Y": 1}, [])
+
+    def test_serial_states_pass(self):
+        spec = litmus2_read_write()
+        assert spec.check({"X": 2, "Y": 1}, [])
+        assert spec.check({"X": 1, "Y": 0}, [])
+
+
+class TestLitmus3Checks:
+    def test_counter_matches_commits(self):
+        spec = litmus3_indirect_write()
+        outcomes = [_Outcome(True), _Outcome(True)]
+        assert spec.check({"X": 2, "Y": 1, "Z": 2}, outcomes)
+
+    def test_lost_update_detected(self):
+        spec = litmus3_indirect_write()
+        outcomes = [_Outcome(True), _Outcome(True)]
+        assert not spec.check({"X": 1, "Y": 1, "Z": 1}, outcomes)
+
+    def test_unknown_outcomes_widen_range(self):
+        spec = litmus3_indirect_write()
+        outcomes = [_Outcome(True), None]
+        assert spec.check({"X": 1, "Y": 1, "Z": 0}, outcomes)
+        assert spec.check({"X": 2, "Y": 1, "Z": 1}, outcomes)
+
+    def test_rollback_corruption_detected(self):
+        spec = litmus3_extended()
+        outcomes = [_Outcome(False), _Outcome(True)]
+        # X rolled back below Z: the lost-decision signature.
+        assert not spec.check({"X": 0, "Y": 0, "Z": 1, "B": 100}, outcomes)
+
+
+class TestCompoundAndStretched:
+    def test_compound_mixed_direct_values_fail(self):
+        spec = compound_litmus()
+        values = {"A": 1, "B": 2, "X": 0, "Y": 0, "Z": 0}
+        assert not spec.check(values, [])
+
+    def test_stretched_width_validation(self):
+        with pytest.raises(ValueError):
+            stretched_litmus(width=1)
+
+    def test_stretched_detects_mixing(self):
+        spec = stretched_litmus(width=4)
+        good = {key: 2 for key in spec.keys}
+        assert spec.check(good, [])
+        bad = dict(good)
+        bad[spec.keys[-1]] = 3
+        assert not spec.check(bad, [])

@@ -1,0 +1,60 @@
+"""Tests for the FORD-style address cache (cold vs warm)."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import MicroBenchmark
+
+
+def run(warm: bool, keys=100, until=6e-3):
+    cluster = Cluster(
+        ClusterConfig(
+            coordinators_per_node=1,
+            compute_nodes=1,
+            seed=17,
+            warm_address_cache=warm,
+        ),
+        MicroBenchmark(num_keys=keys, write_ratio=1.0),
+    )
+    cluster.start()
+    cluster.run(until=until)
+    return cluster
+
+
+class TestAddressCache:
+    def test_cold_cache_costs_extra_probes(self):
+        warm = run(True)
+        cold = run(False)
+
+        def probes(cluster):
+            return sum(
+                memory.verb_counts.get("read_header", 0)
+                for memory in cluster.memory_nodes.values()
+            )
+
+        # Warm: zero index probes on a write-only workload.
+        assert probes(warm) == 0
+        assert probes(cold) > 0
+
+    def test_probe_paid_once_per_object(self):
+        cold = run(False, keys=20, until=20e-3)
+        probes = sum(
+            memory.verb_counts.get("read_header", 0)
+            for memory in cold.memory_nodes.values()
+        )
+        # At most one probe per (coordinator, object) pair — the cache
+        # retains resolved addresses across transactions.
+        assert probes <= 20 * 2  # 2 keys touched per txn, 20 objects
+
+    def test_cold_and_warm_converge(self):
+        """Once all addresses are cached, throughput matches warm."""
+        warm = run(True, keys=20, until=20e-3)
+        cold = run(False, keys=20, until=20e-3)
+        warm_rate = warm.timeline.rate_between(10e-3, 20e-3)
+        cold_rate = cold.timeline.rate_between(10e-3, 20e-3)
+        assert cold_rate == pytest.approx(warm_rate, rel=0.1)
+
+    def test_cold_cache_still_correct(self):
+        cold = run(False, keys=50)
+        stats = cold.aggregate_stats()
+        assert stats.commits > 50

@@ -1,0 +1,135 @@
+"""Tests for the coordinator worker loop: retries, stats, policies."""
+
+import pytest
+
+from repro.protocol.coordinator import CoordinatorConfig, CoordinatorStats
+from repro.protocol.types import AbortReason
+
+
+class TestCoordinatorConfig:
+    def test_defaults(self):
+        config = CoordinatorConfig()
+        assert config.max_attempts == 64
+        assert not config.abandon_on_conflict
+
+
+class TestStatsMerge:
+    def test_merge_counts(self):
+        left, right = CoordinatorStats(), CoordinatorStats()
+        left.commits, right.commits = 3, 4
+        left.abort_reasons["x"] = 1
+        right.abort_reasons["x"] = 2
+        left.merge(right)
+        assert left.commits == 7
+        assert left.abort_reasons["x"] == 3
+
+    def test_merge_latency_histograms(self):
+        left, right = CoordinatorStats(), CoordinatorStats()
+        left.latency.add(1e-5)
+        right.latency.add(2e-5)
+        left.merge(right)
+        assert left.latency.count == 2
+
+
+class TestRetryPolicy:
+    def test_conflict_retried_until_commit(self, rig_factory):
+        """A lock conflict resolves once the holder finishes."""
+        from repro.protocol.coordinator import CoordinatorConfig
+
+        rig = rig_factory(protocol="pandora", compute_nodes=2)
+        holder, contender = rig.coordinators[:2]
+        contender.config = CoordinatorConfig(max_attempts=32)
+        sim = rig.sim
+
+        def hold_then_write(tx):
+            value = yield from tx.read_for_update("kv", 3)
+            yield sim.timeout(50e-6)
+            tx.write("kv", 3, (value or 0) + 1)
+            return None
+
+        def increment(tx):
+            value = yield from tx.read_for_update("kv", 3)
+            tx.write("kv", 3, (value or 0) + 1)
+            return None
+
+        slow = rig.submit(holder, hold_then_write)
+        sim.run(until=5e-6)
+        fast = rig.submit(contender, increment)
+        sim.run()
+        assert slow.value.committed
+        assert fast.value.committed
+        assert fast.value.attempts > 1
+        assert rig.value_at(3) == 2
+
+    def test_user_abort_not_retried(self, rig_factory):
+        from repro.protocol.coordinator import CoordinatorConfig
+
+        rig = rig_factory(protocol="pandora")
+        coordinator = rig.coordinators[0]
+        coordinator.config = CoordinatorConfig(max_attempts=32)
+        attempts = {"count": 0}
+
+        def always_abort(tx):
+            attempts["count"] += 1
+            value = yield from tx.read("kv", 1)
+            tx.abort("business rule")
+            return value
+
+        outcome = rig.run_txn(coordinator, always_abort)
+        assert not outcome.committed
+        assert outcome.reason == AbortReason.USER
+        assert attempts["count"] == 1
+
+    def test_abandon_on_conflict(self, rig_factory):
+        from repro.protocol.coordinator import CoordinatorConfig
+        from repro.protocol.locks import encode_lock
+
+        rig = rig_factory(protocol="pandora", compute_nodes=2)
+        coordinator = rig.coordinators[1]
+        coordinator.config = CoordinatorConfig(abandon_on_conflict=True)
+        # Permanently locked by a live (never-failing) coordinator.
+        rig.slot_state(4).lock = encode_lock(rig.coordinators[0].coord_id)
+
+        def write(tx):
+            tx.write("kv", 4, 9)
+            return None
+
+        outcome = rig.run_txn(coordinator, write)
+        assert not outcome.committed
+        assert outcome.attempts == 1
+
+    def test_attempts_bounded(self, rig_factory):
+        from repro.protocol.coordinator import CoordinatorConfig
+        from repro.protocol.locks import encode_lock
+
+        rig = rig_factory(protocol="pandora", compute_nodes=2)
+        coordinator = rig.coordinators[1]
+        coordinator.config = CoordinatorConfig(max_attempts=5)
+        rig.slot_state(4).lock = encode_lock(rig.coordinators[0].coord_id)
+
+        def write(tx):
+            tx.write("kv", 4, 9)
+            return None
+
+        outcome = rig.run_txn(coordinator, write)
+        assert not outcome.committed
+        assert outcome.attempts == 5
+
+    def test_txn_ids_unique_and_tagged(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+        coordinator = rig.coordinators[0]
+        ids = {coordinator.next_txn_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all((txn_id >> 32) == coordinator.coord_id for txn_id in ids)
+
+    def test_latency_recorded_on_commit(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+        coordinator = rig.coordinators[0]
+
+        def write(tx):
+            tx.write("kv", 1, 1)
+            return None
+
+        rig.run_txn(coordinator, write)
+        assert coordinator.stats.latency.count == 1
+        assert coordinator.stats.latency.percentile(50) > 0

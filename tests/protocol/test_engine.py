@@ -1,0 +1,428 @@
+"""Behavioural tests of the shared OCC engine (commit/abort paths)."""
+
+import pytest
+
+from repro.protocol.types import AbortReason
+
+
+def write_txn(key, value):
+    def logic(tx):
+        tx.write("kv", key, value)
+        return value
+
+    return logic
+
+
+def rmw_txn(key, delta=1):
+    def logic(tx):
+        value = yield from tx.read_for_update("kv", key)
+        tx.write("kv", key, (value or 0) + delta)
+        return (value or 0) + delta
+
+    return logic
+
+
+def read_txn(*keys):
+    def logic(tx):
+        values = []
+        for key in keys:
+            value = yield from tx.read("kv", key)
+            values.append(value)
+        return values
+
+    return logic
+
+
+@pytest.mark.parametrize("protocol", ["pandora", "ford-fixed", "tradlog"])
+class TestCommitPath:
+    def test_blind_write_commits(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+        outcome = rig.run_txn(rig.coordinators[0], write_txn(3, 42))
+        assert outcome.committed
+        assert rig.value_at(3) == 42
+
+    def test_commit_updates_all_replicas(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol, replication=2)
+        rig.run_txn(rig.coordinators[0], write_txn(7, 99))
+        assert rig.replica_values(7) == [99, 99]
+
+    def test_commit_bumps_version(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+        before = rig.slot_state(5).version
+        rig.run_txn(rig.coordinators[0], write_txn(5, 1))
+        assert rig.slot_state(5).version == before + 1
+
+    def test_commit_releases_locks(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+        rig.run_txn(rig.coordinators[0], write_txn(5, 1))
+        assert rig.slot_state(5).lock == 0
+
+    def test_rmw_reads_own_lockset(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+        rig.run_txn(rig.coordinators[0], rmw_txn(4))
+        outcome = rig.run_txn(rig.coordinators[0], rmw_txn(4))
+        assert outcome.committed
+        assert rig.value_at(4) == 2
+
+    def test_read_only_txn(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+        rig.run_txn(rig.coordinators[0], write_txn(2, 5))
+        outcome = rig.run_txn(rig.coordinators[0], read_txn(2, 3))
+        assert outcome.committed
+        assert outcome.value == [5, 0]
+
+    def test_read_your_writes(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+
+        def logic(tx):
+            tx.write("kv", 9, 123)
+            value = yield from tx.read("kv", 9)
+            return value
+
+        outcome = rig.run_txn(rig.coordinators[0], logic)
+        assert outcome.value == 123
+
+    def test_multi_write_txn_atomic(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+
+        def logic(tx):
+            tx.write("kv", 10, 1)
+            tx.write("kv", 11, 1)
+            return None
+
+        assert rig.run_txn(rig.coordinators[0], logic).committed
+        assert rig.value_at(10) == 1 and rig.value_at(11) == 1
+
+
+@pytest.mark.parametrize("protocol", ["pandora", "ford-fixed", "tradlog"])
+class TestInsertDelete:
+    def test_insert_then_read(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol, keys=64)
+
+        def insert(tx):
+            tx.insert("kv", "new-key", 77)
+            return None
+
+        assert rig.run_txn(rig.coordinators[0], insert).committed
+        outcome = rig.run_txn(rig.coordinators[0], read_txn("new-key"))
+        assert outcome.value == [77]
+
+    def test_duplicate_insert_aborts(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+
+        def insert(tx):
+            tx.insert("kv", 3, 1)  # key 3 is pre-loaded
+            return None
+
+        outcome = rig.run_txn(rig.coordinators[0], insert)
+        assert not outcome.committed
+        assert outcome.reason == AbortReason.DUPLICATE_KEY
+
+    def test_delete_then_read_none(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+
+        def delete(tx):
+            tx.delete("kv", 6)
+            return None
+
+        assert rig.run_txn(rig.coordinators[0], delete).committed
+        outcome = rig.run_txn(rig.coordinators[0], read_txn(6))
+        assert outcome.value == [None]
+
+    def test_delete_absent_aborts(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol, keys=64)
+
+        def delete(tx):
+            tx.delete("kv", "never-inserted")
+            return None
+
+        outcome = rig.run_txn(rig.coordinators[0], delete)
+        assert not outcome.committed
+        assert outcome.reason == AbortReason.NOT_FOUND
+
+    def test_write_after_delete_resurrects(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+
+        def logic(tx):
+            tx.delete("kv", 7)
+            tx.write("kv", 7, 42)
+            return None
+
+        assert rig.run_txn(rig.coordinators[0], logic).committed
+        outcome = rig.run_txn(rig.coordinators[0], read_txn(7))
+        assert outcome.value == [42]
+
+    def test_delete_then_insert_same_txn(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+
+        def logic(tx):
+            tx.delete("kv", 7)
+            tx.insert("kv", 7, 43)
+            return None
+
+        assert rig.run_txn(rig.coordinators[0], logic).committed
+        outcome = rig.run_txn(rig.coordinators[0], read_txn(7))
+        assert outcome.value == [43]
+
+    def test_reinsert_after_delete(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol)
+
+        def delete(tx):
+            tx.delete("kv", 8)
+            return None
+
+        def insert(tx):
+            tx.insert("kv", 8, 500)
+            return None
+
+        assert rig.run_txn(rig.coordinators[0], delete).committed
+        assert rig.run_txn(rig.coordinators[0], insert).committed
+        assert rig.run_txn(rig.coordinators[0], read_txn(8)).value == [500]
+
+
+@pytest.mark.parametrize("protocol", ["pandora", "ford-fixed", "tradlog"])
+class TestConflicts:
+    def test_lock_conflict_aborts_one(self, rig_factory, protocol):
+        rig = rig_factory(protocol=protocol, compute_nodes=2)
+        first = rig.submit(rig.coordinators[0], rmw_txn(5))
+        second = rig.submit(rig.coordinators[1], rmw_txn(5))
+        rig.sim.run()
+        outcomes = [first.value, second.value]
+        committed = [outcome for outcome in outcomes if outcome.committed]
+        # At least one commits; both committing must never double-apply.
+        assert len(committed) >= 1
+        assert rig.value_at(5) == len(committed)
+
+    def test_abort_releases_only_own_locks(self, rig_factory, protocol):
+        """After any mix of conflicting txns, no lock leaks."""
+        rig = rig_factory(protocol=protocol, compute_nodes=2)
+        processes = [
+            rig.submit(rig.coordinators[index % 2], rmw_txn(5))
+            for index in range(6)
+        ]
+        rig.sim.run()
+        assert all(process.triggered for process in processes)
+        assert rig.slot_state(5).lock == 0
+
+    def test_validation_catches_intervening_write(self, rig_factory, protocol):
+        """Read-set validation: a write between read and validation
+        aborts the reader (version check)."""
+        rig = rig_factory(protocol=protocol, compute_nodes=2)
+        sim = rig.sim
+        coordinator_a, coordinator_b = rig.coordinators[:2]
+
+        def slow_reader(tx):
+            _x = yield from tx.read("kv", 1)
+            # Stall long enough for the writer to commit, then read a
+            # second key so validation has a multi-read read-set.
+            yield sim.timeout(200e-6)
+            _y = yield from tx.read("kv", 2)
+            return None
+
+        reader = rig.submit(coordinator_a, slow_reader)
+        sim.run(until=50e-6)
+        writer = rig.submit(coordinator_b, write_txn(1, 777))
+        sim.run()
+        assert writer.value.committed
+        assert not reader.value.committed
+        assert reader.value.reason == AbortReason.VALIDATION_VERSION
+
+    def test_upgrade_version_conflict(self, rig_factory, protocol):
+        """Read-then-write: lock acquisition re-checks the version."""
+        rig = rig_factory(protocol=protocol, compute_nodes=2)
+        sim = rig.sim
+
+        def read_then_write(tx):
+            value = yield from tx.read("kv", 1)
+            yield sim.timeout(200e-6)  # let the other writer slip in
+            tx.write("kv", 1, (value or 0) + 1)
+            return None
+
+        slow = rig.submit(rig.coordinators[0], read_then_write)
+        sim.run(until=50e-6)
+        fast = rig.submit(rig.coordinators[1], write_txn(1, 100))
+        sim.run()
+        assert fast.value.committed
+        assert not slow.value.committed
+        # The lost-update anomaly must not occur.
+        assert rig.value_at(1) == 100
+
+
+class TestPandoraSpecifics:
+    def test_lock_word_carries_coordinator_id(self, rig_factory):
+        from repro.protocol.locks import is_locked, owner_of
+
+        rig = rig_factory(protocol="pandora")
+        coordinator = rig.coordinators[0]
+        seen = {}
+
+        def logic(tx):
+            value = yield from tx.read_for_update("kv", 3)
+            seen["word"] = rig.slot_state(3).lock
+            tx.write("kv", 3, 1)
+            return value
+
+        rig.run_txn(coordinator, logic)
+        assert is_locked(seen["word"])
+        assert owner_of(seen["word"]) == coordinator.coord_id
+
+    def test_stray_lock_stolen(self, rig_factory):
+        """PILL: a lock owned by a failed coordinator is stolen."""
+        from repro.protocol.locks import encode_lock
+
+        rig = rig_factory(protocol="pandora", compute_nodes=2)
+        dead_coord = rig.coordinators[0]
+        live_coord = rig.coordinators[1]
+        # Plant a stray lock owned by the "failed" coordinator.
+        rig.slot_state(4).lock = encode_lock(dead_coord.coord_id, tag=1)
+        live_coord.node.add_failed_ids([dead_coord.coord_id])
+
+        outcome = rig.run_txn(live_coord, write_txn(4, 55))
+        assert outcome.committed
+        assert live_coord.stats.locks_stolen == 1
+        assert rig.value_at(4) == 55
+
+    def test_live_lock_not_stolen(self, rig_factory):
+        from repro.protocol.locks import encode_lock
+
+        rig = rig_factory(protocol="pandora", compute_nodes=2)
+        other = rig.coordinators[0]
+        live = rig.coordinators[1]
+        rig.slot_state(4).lock = encode_lock(other.coord_id, tag=1)
+        # other.coord_id is NOT in failed-ids.
+        outcome = rig.run_txn(live, write_txn(4, 55))
+        assert not outcome.committed
+        assert outcome.reason == AbortReason.LOCK_CONFLICT
+        assert live.stats.locks_stolen == 0
+
+    def test_read_passes_stray_lock(self, rig_factory):
+        from repro.protocol.locks import encode_lock
+
+        rig = rig_factory(protocol="pandora", compute_nodes=2)
+        dead = rig.coordinators[0]
+        live = rig.coordinators[1]
+        rig.slot_state(4).lock = encode_lock(dead.coord_id, tag=1)
+        live.node.add_failed_ids([dead.coord_id])
+        outcome = rig.run_txn(live, read_txn(4))
+        assert outcome.committed
+
+    def test_read_aborts_on_live_lock(self, rig_factory):
+        from repro.protocol.locks import encode_lock
+
+        rig = rig_factory(protocol="pandora", compute_nodes=2)
+        other = rig.coordinators[0]
+        live = rig.coordinators[1]
+        rig.slot_state(4).lock = encode_lock(other.coord_id, tag=1)
+        outcome = rig.run_txn(live, read_txn(4))
+        assert not outcome.committed
+        assert outcome.reason == AbortReason.READ_LOCKED
+
+    def test_coalesced_log_written_to_f_plus_one_nodes(self, rig_factory):
+        rig = rig_factory(protocol="pandora", replication=2)
+        coordinator = rig.coordinators[0]
+        log_nodes = rig.catalog.log_nodes(coordinator.coord_id)
+        assert len(log_nodes) == 2
+
+        writes_before = {
+            node_id: rig.memory[node_id].verb_counts.get("write_log", 0)
+            for node_id in rig.memory
+        }
+
+        def logic(tx):
+            tx.write("kv", 1, 1)
+            tx.write("kv", 2, 2)
+            tx.write("kv", 3, 3)
+            return None
+
+        rig.run_txn(coordinator, logic)
+        # Exactly one coalesced record per log node, regardless of the
+        # write-set size (§3.1.4: f+1 writes total, not per object).
+        for node_id in rig.memory:
+            delta = rig.memory[node_id].verb_counts.get("write_log", 0) - writes_before[
+                node_id
+            ]
+            assert delta == (1 if node_id in log_nodes else 0)
+
+    def test_commit_invalidates_log_records(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+        coordinator = rig.coordinators[0]
+        rig.run_txn(coordinator, write_txn(1, 5))
+        rig.sim.run()  # drain unsignaled invalidations
+        for node_id in rig.catalog.log_nodes(coordinator.coord_id):
+            region = rig.memory[node_id].log_regions.get(coordinator.coord_id)
+            assert region is not None
+            assert region.valid_records() == []
+
+    def test_abort_truncates_log_before_unlock(self, rig_factory):
+        """§3.1.5: an aborting logged txn invalidates its records."""
+        rig = rig_factory(protocol="pandora", compute_nodes=2)
+        sim = rig.sim
+
+        def read_then_write(tx):
+            value = yield from tx.read("kv", 1)
+            yield sim.timeout(200e-6)
+            tx.write("kv", 1, (value or 0) + 1)
+            tx.write("kv", 2, 1)
+            return None
+
+        slow = rig.submit(rig.coordinators[0], read_then_write)
+        sim.run(until=50e-6)
+        rig.submit(rig.coordinators[1], write_txn(1, 9))
+        sim.run()
+        assert not slow.value.committed
+        for node_id in rig.catalog.log_nodes(rig.coordinators[0].coord_id):
+            region = rig.memory[node_id].log_regions.get(
+                rig.coordinators[0].coord_id
+            )
+            if region is not None:
+                assert region.valid_records() == []
+
+
+class TestFordSpecifics:
+    def test_per_object_logging_to_object_replicas(self, rig_factory):
+        rig = rig_factory(protocol="ford-fixed", replication=2)
+        coordinator = rig.coordinators[0]
+
+        def logic(tx):
+            tx.write("kv", 1, 1)
+            return None
+
+        rig.run_txn(coordinator, logic)
+        slot = rig.catalog.slot_for(0, 1)
+        replicas = rig.placement.replicas(0, slot)
+        for node_id in replicas:
+            region = rig.memory[node_id].log_regions.get(coordinator.coord_id)
+            assert region is not None  # a log copy landed there
+
+    def test_anonymous_locks(self, rig_factory):
+        from repro.protocol.locks import ANONYMOUS_OWNER, owner_of
+
+        rig = rig_factory(protocol="ford-fixed")
+        seen = {}
+
+        def logic(tx):
+            value = yield from tx.read_for_update("kv", 3)
+            seen["word"] = rig.slot_state(3).lock
+            tx.write("kv", 3, 1)
+            return value
+
+        rig.run_txn(rig.coordinators[0], logic)
+        assert owner_of(seen["word"]) == ANONYMOUS_OWNER
+
+
+class TestTradLogSpecifics:
+    def test_lock_intent_logged_before_lock(self, rig_factory):
+        rig = rig_factory(protocol="tradlog")
+        coordinator = rig.coordinators[0]
+        rig.run_txn(coordinator, write_txn(1, 5))
+        # Lock-intent records (txn_id == -1) were written then
+        # invalidated at unlock; the region must exist on log nodes.
+        for node_id in rig.catalog.log_nodes(coordinator.coord_id):
+            assert coordinator.coord_id in rig.memory[node_id].log_regions
+
+    def test_extra_round_trip_slows_writes(self, rig_factory):
+        fast = rig_factory(protocol="pandora")
+        slow = rig_factory(protocol="tradlog")
+        fast_outcome = fast.run_txn(fast.coordinators[0], write_txn(1, 5))
+        slow_outcome = slow.run_txn(slow.coordinators[0], write_txn(1, 5))
+        assert slow_outcome.latency > fast_outcome.latency

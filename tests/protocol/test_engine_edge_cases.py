@@ -1,0 +1,181 @@
+"""Edge cases of the engine: interrupts, error paths, optimizations."""
+
+import pytest
+
+from repro.protocol.types import AbortReason
+from repro.sim import Interrupt
+
+
+class TestValidationOptimization:
+    def test_single_read_skips_validation(self, rig_factory):
+        """A lone read with no writes commits in one round trip."""
+        rig = rig_factory(protocol="pandora")
+
+        def single(tx):
+            value = yield from tx.read("kv", 1)
+            return value
+
+        outcome = rig.run_txn(rig.coordinators[0], single)
+        # One read RTT (~3.4us) only; validation would add another.
+        assert outcome.latency < 5e-6
+
+    def test_two_reads_validate(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+
+        def double(tx):
+            a = yield from tx.read("kv", 1)
+            b = yield from tx.read("kv", 2)
+            return (a, b)
+
+        outcome = rig.run_txn(rig.coordinators[0], double)
+        assert outcome.latency > 5e-6  # extra validation round trip
+
+    def test_read_plus_write_validates_read(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+
+        def mixed(tx):
+            a = yield from tx.read("kv", 1)
+            tx.write("kv", 2, (a or 0) + 1)
+            return None
+
+        outcome = rig.run_txn(rig.coordinators[0], mixed)
+        assert outcome.committed
+
+
+class TestReadForUpdateCaching:
+    def test_second_read_for_update_uses_held_lock(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+
+        def logic(tx):
+            first = yield from tx.read_for_update("kv", 3)
+            second = yield from tx.read_for_update("kv", 3)
+            tx.write("kv", 3, (second or 0) + 1)
+            return (first, second)
+
+        outcome = rig.run_txn(rig.coordinators[0], logic)
+        assert outcome.committed
+        assert outcome.value[0] == outcome.value[1]
+
+    def test_write_after_read_for_update_no_new_lock(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+        node = rig.placement.primary(0, rig.catalog.slot_for(0, 3))
+        before = rig.memory[node].verb_counts.get("cas_lock", 0)
+
+        def logic(tx):
+            value = yield from tx.read_for_update("kv", 3)
+            tx.write("kv", 3, (value or 0) + 1)
+            return None
+
+        rig.run_txn(rig.coordinators[0], logic)
+        after = rig.memory[node].verb_counts.get("cas_lock", 0)
+        assert after - before == 1  # exactly one lock CAS
+
+
+class TestInterruptHandling:
+    def test_interrupt_before_apply_rolls_back(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+        coordinator = rig.coordinators[0]
+        sim = rig.sim
+
+        def slow(tx):
+            value = yield from tx.read_for_update("kv", 3)
+            yield sim.timeout(100e-6)
+            tx.write("kv", 3, 777)
+            return None
+
+        process = rig.submit(coordinator, slow)
+        coordinator.process = process
+        sim.run(until=20e-6)
+        # Memory reconfiguration interrupt mid-execution.
+        process.interrupt(coordinator.engine.current_tx)
+        sim.run()
+        outcome = process.value
+        assert not outcome.committed
+        assert outcome.reason == AbortReason.MEMORY_RECONFIG
+        assert rig.value_at(3) == 0  # write never applied
+        assert rig.slot_state(3).lock == 0  # lock released
+
+    def test_interrupt_after_apply_commits(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+        coordinator = rig.coordinators[0]
+        sim = rig.sim
+        engine = coordinator.engine
+
+        committed_marker = {}
+
+        def writer(tx):
+            tx.write("kv", 3, 555)
+            return None
+
+        # Interrupt precisely after the apply wave by polling
+        # apply_done (bounded: the window can be missed entirely).
+        def sniper():
+            for _ in range(5000):
+                tx = engine.current_tx
+                if tx is not None and tx.apply_done:
+                    coordinator.process.interrupt(tx)
+                    committed_marker["fired"] = True
+                    return
+                yield sim.timeout(0.2e-6)
+
+        process = rig.submit(coordinator, writer)
+        coordinator.process = process
+        sim.process(sniper())
+        sim.run(until=5e-3)
+        if committed_marker.get("fired") and process.triggered:
+            outcome = process.value
+            assert outcome.committed
+            assert rig.value_at(3) == 555
+
+
+class TestMemoryNodeLossDuringTxn:
+    def test_txn_aborts_cleanly_when_replica_dies(self, rig_factory):
+        rig = rig_factory(protocol="pandora", memory_nodes=2, replication=2)
+        sim = rig.sim
+        coordinator = rig.coordinators[0]
+
+        def slow_writer(tx):
+            value = yield from tx.read_for_update("kv", 3)
+            yield sim.timeout(50e-6)
+            tx.write("kv", 3, (value or 0) + 1)
+            return None
+
+        process = rig.submit(coordinator, slow_writer)
+        sim.run(until=20e-6)
+        # Kill a replica of key 3 mid-transaction; commit writes to it
+        # will fail with RemoteNodeDownError.
+        slot = rig.catalog.slot_for(0, 3)
+        victim = rig.placement.replicas(0, slot)[1]
+        rig.memory[victim].crash()
+        sim.run()
+        outcome = process.value
+        # Aborted via §3.2.5 self-decision (no placement update in the
+        # bare rig, so the txn cannot commit) — and nothing hangs.
+        assert process.triggered
+        assert not outcome.committed
+
+
+class TestLateUpgradeCheck:
+    def test_ford_aborts_at_validation_not_lock_time(self, rig_factory):
+        """FORD's deferred re-check still prevents lost updates."""
+        rig = rig_factory(protocol="ford-fixed", compute_nodes=2)
+        sim = rig.sim
+
+        def read_then_write(tx):
+            value = yield from tx.read("kv", 1)
+            yield sim.timeout(200e-6)
+            tx.write("kv", 1, (value or 0) + 1)
+            return None
+
+        def blind(tx):
+            tx.write("kv", 1, 50)
+            return None
+
+        slow = rig.submit(rig.coordinators[0], read_then_write)
+        sim.run(until=50e-6)
+        fast = rig.submit(rig.coordinators[1], blind)
+        sim.run()
+        assert fast.value.committed
+        assert not slow.value.committed
+        assert slow.value.reason == AbortReason.UPGRADE_VERSION
+        assert rig.value_at(1) == 50  # no lost update

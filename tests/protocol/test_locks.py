@@ -1,0 +1,75 @@
+"""Tests for the PILL lock-word encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocol.locks import (
+    ANONYMOUS_OWNER,
+    LOCKED_FLAG,
+    MAX_COORD_ID,
+    encode_anonymous_lock,
+    encode_lock,
+    is_locked,
+    owner_of,
+    tag_of,
+)
+
+
+class TestLockWord:
+    def test_zero_is_unlocked(self):
+        assert not is_locked(0)
+
+    def test_encode_sets_locked_flag(self):
+        assert is_locked(encode_lock(5))
+
+    def test_owner_extraction(self):
+        assert owner_of(encode_lock(1234, tag=99)) == 1234
+
+    def test_tag_extraction(self):
+        assert tag_of(encode_lock(1234, tag=99)) == 99
+
+    def test_anonymous_lock_has_sentinel_owner(self):
+        word = encode_anonymous_lock(tag=5)
+        assert is_locked(word)
+        assert owner_of(word) == ANONYMOUS_OWNER
+
+    def test_max_coord_id_fits(self):
+        assert owner_of(encode_lock(MAX_COORD_ID)) == MAX_COORD_ID
+
+    def test_out_of_range_coord_id(self):
+        with pytest.raises(ValueError):
+            encode_lock(MAX_COORD_ID + 1)
+        with pytest.raises(ValueError):
+            encode_lock(-1)
+
+    def test_out_of_range_tag(self):
+        with pytest.raises(ValueError):
+            encode_lock(1, tag=1 << 32)
+
+    def test_word_fits_in_64_bits(self):
+        word = encode_lock(MAX_COORD_ID, tag=0xFFFFFFFF)
+        assert word < (1 << 64)
+        assert word & LOCKED_FLAG
+
+
+@given(
+    coord_id=st.integers(0, MAX_COORD_ID),
+    tag=st.integers(0, 0xFFFFFFFF),
+)
+def test_lock_word_roundtrip(coord_id, tag):
+    """Property: encode/decode is lossless for any owner/tag pair."""
+    word = encode_lock(coord_id, tag)
+    assert is_locked(word)
+    assert owner_of(word) == coord_id
+    assert tag_of(word) == tag
+
+
+@given(
+    a=st.tuples(st.integers(0, MAX_COORD_ID), st.integers(0, 0xFFFFFFFF)),
+    b=st.tuples(st.integers(0, MAX_COORD_ID), st.integers(0, 0xFFFFFFFF)),
+)
+def test_lock_words_injective(a, b):
+    """Distinct (owner, tag) pairs produce distinct words."""
+    if a != b:
+        assert encode_lock(*a) != encode_lock(*b)

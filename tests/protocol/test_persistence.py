@@ -1,0 +1,55 @@
+"""Tests for the §7 NVM persistence mode (selective one-sided flush)."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import MicroBenchmark
+
+
+def run(persistence: str, seed=81):
+    cluster = Cluster(
+        ClusterConfig(
+            coordinators_per_node=2,
+            seed=seed,
+            persistence=persistence,
+        ),
+        MicroBenchmark(num_keys=300, write_ratio=1.0),
+    )
+    cluster.start()
+    cluster.run(until=0.01)
+    return cluster
+
+
+class TestPersistenceMode:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(persistence="optane").validate()
+
+    def test_default_is_dram(self):
+        assert ClusterConfig().persistence == "dram"
+
+    def test_flush_mode_still_commits(self):
+        cluster = run("nvm-flush")
+        assert cluster.aggregate_stats().commits > 100
+
+    def test_flush_adds_commit_latency(self):
+        dram = run("dram")
+        nvm = run("nvm-flush")
+        p50_dram = dram.aggregate_stats().latency.percentile(50)
+        p50_nvm = nvm.aggregate_stats().latency.percentile(50)
+        # One extra round trip before the client ack.
+        assert p50_nvm > p50_dram
+
+    def test_flush_issues_extra_reads(self):
+        dram = run("dram")
+        nvm = run("nvm-flush")
+
+        def header_reads(cluster):
+            return sum(
+                memory.verb_counts.get("read_header", 0)
+                for memory in cluster.memory_nodes.values()
+            )
+
+        # The write-only workload performs no data-path header reads in
+        # DRAM mode; the flush mode chases every commit with them.
+        assert header_reads(nvm) > header_reads(dram) + 100

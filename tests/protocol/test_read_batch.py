@@ -1,0 +1,130 @@
+"""Tests for batched multi-reads and ReadRange (§2.1 API)."""
+
+import pytest
+
+from repro.protocol.types import AbortReason
+
+
+def seed_values(rig, pairs):
+    for key, value in pairs:
+        slot = rig.catalog.slot_for(0, key)
+        for node in rig.placement.replicas(0, slot):
+            rig.memory[node].load_slot(0, slot, value, version=2)
+
+
+class TestReadMany:
+    def test_returns_values_in_key_order(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+        seed_values(rig, [(1, "a"), (2, "b"), (3, "c")])
+
+        def logic(tx):
+            values = yield from tx.read_many("kv", [3, 1, 2])
+            return values
+
+        outcome = rig.run_txn(rig.coordinators[0], logic)
+        assert outcome.value == ["c", "a", "b"]
+
+    def test_batch_costs_one_round_trip(self, rig_factory):
+        """All reads of a batch overlap: latency is ~1 RTT, not N."""
+        rig_batch = rig_factory(protocol="pandora")
+        rig_serial = rig_factory(protocol="pandora")
+        keys = list(range(8))
+
+        def batched(tx):
+            values = yield from tx.read_many("kv", keys)
+            return values
+
+        def serial(tx):
+            values = []
+            for key in keys:
+                value = yield from tx.read("kv", key)
+                values.append(value)
+            return values
+
+        fast = rig_batch.run_txn(rig_batch.coordinators[0], batched)
+        slow = rig_serial.run_txn(rig_serial.coordinators[0], serial)
+        assert fast.latency < slow.latency / 2
+
+    def test_serves_buffered_writes(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+
+        def logic(tx):
+            tx.write("kv", 5, 99)
+            values = yield from tx.read_many("kv", [4, 5])
+            return values
+
+        outcome = rig.run_txn(rig.coordinators[0], logic)
+        assert outcome.value[1] == 99
+
+    def test_serves_pending_delete_as_none(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+
+        def logic(tx):
+            tx.delete("kv", 5)
+            values = yield from tx.read_many("kv", [5])
+            return values
+
+        outcome = rig.run_txn(rig.coordinators[0], logic)
+        assert outcome.value == [None]
+
+    def test_aborts_on_live_locked_member(self, rig_factory):
+        from repro.protocol.locks import encode_lock
+
+        rig = rig_factory(protocol="pandora", compute_nodes=2)
+        other = rig.coordinators[0]
+        rig.slot_state(2).lock = encode_lock(other.coord_id)
+
+        def logic(tx):
+            values = yield from tx.read_many("kv", [1, 2, 3])
+            return values
+
+        outcome = rig.run_txn(rig.coordinators[1], logic)
+        assert not outcome.committed
+        assert outcome.reason == AbortReason.READ_LOCKED
+
+    def test_batch_populates_read_set_for_validation(self, rig_factory):
+        """Batched reads participate in validation like plain reads."""
+        rig = rig_factory(protocol="pandora", compute_nodes=2)
+        sim = rig.sim
+
+        def slow_batch_reader(tx):
+            values = yield from tx.read_many("kv", [1, 2])
+            yield sim.timeout(200e-6)
+            extra = yield from tx.read("kv", 3)
+            return values + [extra]
+
+        def writer(tx):
+            tx.write("kv", 1, 123)
+            return None
+
+        reader = rig.submit(rig.coordinators[0], slow_batch_reader)
+        sim.run(until=50e-6)
+        rig.submit(rig.coordinators[1], writer)
+        sim.run()
+        assert not reader.value.committed
+        assert reader.value.reason == AbortReason.VALIDATION_VERSION
+
+
+class TestReadRange:
+    def test_range_reads_consecutive_keys(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+        seed_values(rig, [(10, "x"), (11, "y"), (12, "z")])
+
+        def logic(tx):
+            values = yield from tx.read_range("kv", 10, 3)
+            return values
+
+        outcome = rig.run_txn(rig.coordinators[0], logic)
+        assert outcome.value == ["x", "y", "z"]
+
+    def test_invalid_count(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+
+        def logic(tx):
+            values = yield from tx.read_range("kv", 0, 0)
+            return values
+
+        process = rig.submit(rig.coordinators[0], logic)
+        rig.sim.run()
+        with pytest.raises(ValueError):
+            _ = process.value

@@ -1,0 +1,222 @@
+"""Tests for the simulated RDMA fabric: network, QPs, verbs."""
+
+import random
+
+import pytest
+
+from repro.memory.node import MemoryNode
+from repro.rdma.errors import LinkRevokedError, RemoteNodeDownError
+from repro.rdma.network import Network, NetworkConfig
+from repro.rdma.verbs import Verbs
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    network = Network(NetworkConfig(jitter=0.0), random.Random(1))
+    memory = MemoryNode(0)
+    memory.create_table(0, 64, value_size=8)
+    memory.load_slot(0, 3, value=111)
+    verbs = Verbs(sim, compute_id=7, network=network, memory_nodes={0: memory})
+    return sim, network, memory, verbs
+
+
+class TestNetworkModel:
+    def test_small_message_delay_near_base_latency(self):
+        network = Network(NetworkConfig(jitter=0.0), random.Random(0))
+        delay = network.delay(64)
+        assert delay == pytest.approx(
+            NetworkConfig().one_way_latency + 64 / NetworkConfig().bandwidth_bytes_per_sec
+        )
+
+    def test_bulk_transfer_charged_bandwidth(self):
+        config = NetworkConfig(jitter=0.0)
+        network = Network(config, random.Random(0))
+        one_gib = 1 << 30
+        delay = network.delay(one_gib)
+        assert delay > one_gib / config.bandwidth_bytes_per_sec
+
+    def test_scan_arithmetic_matches_paper_claim(self):
+        """§3.1.1: scanning 100 GiB over 100 Gbps takes >= 8 s."""
+        network = Network(NetworkConfig(jitter=0.0), random.Random(0))
+        assert network.transfer_time(100 * (1 << 30)) >= 8.0
+
+    def test_loss_adds_retransmit_latency(self):
+        config = NetworkConfig(jitter=0.0, loss_probability=0.999)
+        network = Network(config, random.Random(0))
+        assert network.delay(64) > config.retransmit_timeout
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(one_way_latency=0).validate()
+        with pytest.raises(ValueError):
+            NetworkConfig(loss_probability=1.5).validate()
+
+
+class TestVerbs:
+    def test_read_object_roundtrip(self, rig):
+        sim, _network, _memory, verbs = rig
+
+        def proc():
+            snapshot = yield verbs.read_object(0, 0, 3)
+            return snapshot
+
+        lock, version, present, value = sim.run_until_complete(sim.process(proc()))
+        assert (lock, version, present, value) == (0, 1, True, 111)
+
+    def test_read_costs_a_round_trip(self, rig):
+        sim, network, _memory, verbs = rig
+
+        def proc():
+            yield verbs.read_header(0, 0, 3)
+            return sim.now
+
+        elapsed = sim.run_until_complete(sim.process(proc()))
+        assert elapsed >= 2 * network.config.one_way_latency
+
+    def test_cas_succeeds_and_returns_old(self, rig):
+        sim, _network, memory, verbs = rig
+
+        def proc():
+            old = yield verbs.cas_lock(0, 0, 3, 0, 0xABC)
+            return old
+
+        assert sim.run_until_complete(sim.process(proc())) == 0
+        assert memory.slot(0, 3).lock == 0xABC
+
+    def test_cas_failure_leaves_word(self, rig):
+        sim, _network, memory, verbs = rig
+        memory.slot(0, 3).lock = 0x111
+
+        def proc():
+            old = yield verbs.cas_lock(0, 0, 3, 0, 0xABC)
+            return old
+
+        assert sim.run_until_complete(sim.process(proc())) == 0x111
+        assert memory.slot(0, 3).lock == 0x111
+
+    def test_concurrent_cas_only_one_wins(self, rig):
+        """The atomicity that makes one-sided locking possible."""
+        sim, _network, memory, verbs = rig
+
+        def contender(word):
+            old = yield verbs.cas_lock(0, 0, 3, 0, word)
+            return old == 0
+
+        winners = [sim.process(contender(0x100 + i)) for i in range(8)]
+        sim.run()
+        assert sum(1 for process in winners if process.value) == 1
+
+    def test_qp_fifo_cas_then_read(self, rig):
+        """RC in-order delivery: a read posted after a CAS observes it."""
+        sim, _network, _memory, verbs = rig
+
+        def proc():
+            cas_event = verbs.cas_lock(0, 0, 3, 0, 0xBEEF)
+            read_event = verbs.read_header(0, 0, 3)
+            yield cas_event
+            lock, _version, _present = yield read_event
+            return lock
+
+        assert sim.run_until_complete(sim.process(proc())) == 0xBEEF
+
+    def test_write_object_updates_value_and_version(self, rig):
+        sim, _network, memory, verbs = rig
+
+        def proc():
+            yield verbs.write_object(0, 0, 3, version=2, value=999, present=True)
+
+        sim.run_until_complete(sim.process(proc()))
+        slot = memory.slot(0, 3)
+        assert (slot.version, slot.value) == (2, 999)
+
+    def test_unsignaled_write_still_lands(self, rig):
+        sim, _network, memory, verbs = rig
+
+        def proc():
+            event = verbs.write_object(
+                0, 0, 3, version=5, value=1, present=True, signaled=False
+            )
+            yield event  # fires immediately, before the write lands
+            return sim.now
+
+        returned_at = sim.run_until_complete(sim.process(proc()))
+        assert returned_at == 0.0
+        assert memory.slot(0, 3).version != 5
+        sim.run()
+        assert memory.slot(0, 3).version == 5
+
+    def test_batched_header_read(self, rig):
+        sim, _network, memory, verbs = rig
+        memory.load_slot(0, 4, value=5)
+
+        def proc():
+            headers = yield verbs.read_headers(0, [(0, 3), (0, 4)])
+            return headers
+
+        headers = sim.run_until_complete(sim.process(proc()))
+        assert len(headers) == 2
+        assert headers[0][1] == 1  # version of slot 3
+
+    def test_missing_qp_raises(self, rig):
+        _sim, _network, _memory, verbs = rig
+        with pytest.raises(KeyError):
+            verbs.read_header(99, 0, 0)
+
+
+class TestFailureSemantics:
+    def test_revoked_link_fails_completions(self, rig):
+        sim, _network, memory, verbs = rig
+        memory._op_ctrl_revoke(0, (7,))
+
+        def proc():
+            try:
+                yield verbs.read_header(0, 0, 3)
+            except LinkRevokedError:
+                return "revoked"
+            return "ok"
+
+        assert sim.run_until_complete(sim.process(proc())) == "revoked"
+
+    def test_revocation_rpc_end_to_end(self, rig):
+        sim, _network, memory, verbs = rig
+
+        def proc():
+            yield verbs.revoke_link(0, target_compute_id=7)
+            try:
+                yield verbs.read_header(0, 0, 3)
+            except LinkRevokedError:
+                return "fenced"
+            return "ok"
+
+        assert sim.run_until_complete(sim.process(proc())) == "fenced"
+        assert memory.is_revoked(7)
+
+    def test_dead_memory_node_fails_verbs(self, rig):
+        sim, _network, memory, verbs = rig
+        memory.crash()
+
+        def proc():
+            try:
+                yield verbs.read_header(0, 0, 3)
+            except RemoteNodeDownError:
+                return "down"
+            return "ok"
+
+        assert sim.run_until_complete(sim.process(proc())) == "down"
+
+    def test_posted_verbs_land_after_sender_dies(self, rig):
+        """The stray-lock mechanism: a CAS posted by a process that is
+        killed immediately afterwards still executes at memory."""
+        sim, _network, memory, verbs = rig
+
+        def proc():
+            verbs.cas_lock(0, 0, 3, 0, 0xDEAD)
+            yield sim.timeout(100)  # killed long before this
+
+        process = sim.process(proc())
+        sim.run(until=1e-9)
+        process.kill()
+        sim.run()
+        assert memory.slot(0, 3).lock == 0xDEAD

@@ -1,0 +1,88 @@
+"""Property tests for the RDMA fabric's ordering and delay guarantees."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.node import MemoryNode
+from repro.rdma.network import Network, NetworkConfig
+from repro.rdma.verbs import Verbs
+from repro.sim import Simulator
+
+
+@given(
+    size=st.integers(0, 1 << 20),
+    jitter=st.floats(0.0, 1e-6),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=100)
+def test_delay_bounds(size, jitter, seed):
+    """delay >= base latency + serialization, and bounded by jitter."""
+    config = NetworkConfig(jitter=jitter)
+    network = Network(config, random.Random(seed))
+    delay = network.delay(size)
+    floor = config.one_way_latency + size / config.bandwidth_bytes_per_sec
+    assert floor <= delay <= floor + jitter + 1e-12
+
+
+@given(sizes=st.lists(st.integers(0, 4096), min_size=2, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_qp_preserves_post_order(sizes):
+    """RC FIFO: verbs posted together execute in post order at memory,
+    regardless of per-message jitter — the property FORD's
+    lock-then-read sequence depends on (§3.1.1)."""
+    sim = Simulator()
+    network = Network(NetworkConfig(jitter=0.5e-6), random.Random(3))
+    memory = MemoryNode(0)
+    memory.create_table(0, 1, value_size=8)
+    memory.load_slot(0, 0, value=0)
+    verbs = Verbs(sim, 1, network, {0: memory})
+
+    order = []
+    original_apply = memory.apply
+
+    def recording_apply(src, kind, args):
+        if kind == "write_object":
+            order.append(args[3])  # the value carries the post index
+        return original_apply(src, kind, args)
+
+    memory.apply = recording_apply
+
+    def proc():
+        events = [
+            verbs.write_object(0, 0, 0, version=i + 1, value=i, value_size=size)
+            for i, size in enumerate(sizes)
+        ]
+        yield sim.all_of(events)
+
+    sim.run_until_complete(sim.process(proc()))
+    assert order == list(range(len(sizes)))
+
+
+@given(
+    loss=st.floats(0.0, 0.5),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=30, deadline=None)
+def test_lossy_network_still_delivers_everything(loss, seed):
+    """Reliable connection: loss shows up as latency, never as a
+    missing completion."""
+    sim = Simulator()
+    network = Network(
+        NetworkConfig(jitter=0.0, loss_probability=loss),
+        random.Random(seed),
+    )
+    memory = MemoryNode(0)
+    memory.create_table(0, 8, value_size=8)
+    verbs = Verbs(sim, 1, network, {0: memory})
+    delivered = []
+
+    def proc():
+        for slot in range(8):
+            result = yield verbs.cas_lock(0, 0, slot, 0, 42)
+            delivered.append(result)
+
+    sim.run_until_complete(sim.process(proc()))
+    assert delivered == [0] * 8
+    assert all(memory.slot(0, s).lock == 42 for s in range(8))

@@ -1,0 +1,112 @@
+"""Tests for the heartbeat failure detectors."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import MicroBenchmark
+
+
+def make_cluster(distributed=False, **overrides):
+    config = ClusterConfig(
+        coordinators_per_node=2,
+        seed=21,
+        distributed_fd=distributed,
+        **overrides,
+    )
+    workload = MicroBenchmark(num_keys=200, write_ratio=1.0)
+    cluster = Cluster(config, workload)
+    cluster.start()
+    return cluster
+
+
+class TestStandaloneDetection:
+    def test_detects_compute_crash_within_timeout_window(self):
+        cluster = make_cluster(fd_timeout=5e-3)
+        cluster.crash_compute(0, at=0.010)
+        cluster.run(until=0.030)
+        detections = [d for d in cluster.fd.detections if d[1] == "compute"]
+        assert len(detections) == 1
+        detect_time = detections[0][0]
+        # Timeout counts from the *last heartbeat*, which lands up to
+        # one heartbeat interval before the crash.
+        assert 0.010 + 5e-3 - 1.5e-3 <= detect_time <= 0.010 + 5e-3 + 3e-3
+
+    def test_no_false_positives_without_failures(self):
+        cluster = make_cluster()
+        cluster.run(until=0.05)
+        assert cluster.fd.detections == []
+
+    def test_detects_memory_crash(self):
+        cluster = make_cluster()
+        cluster.crash_memory(0, at=0.010)
+        cluster.run(until=0.030)
+        kinds = [d[1] for d in cluster.fd.detections]
+        assert "memory" in kinds
+
+    def test_restarted_node_not_redetected(self):
+        cluster = make_cluster(restart_failed_after=2e-3)
+        cluster.crash_compute(0, at=0.010)
+        cluster.run(until=0.060)
+        detections = [d for d in cluster.fd.detections if d[1] == "compute"]
+        assert len(detections) == 1
+        assert cluster.compute_nodes[0].alive
+
+
+class TestDistributedDetection:
+    def test_quorum_detection_adds_agreement_delay(self):
+        standalone = make_cluster(fd_timeout=5e-3)
+        quorum = make_cluster(
+            distributed=True, fd_timeout=5e-3, fd_agreement_delay=2e-3
+        )
+        for cluster in (standalone, quorum):
+            cluster.crash_compute(0, at=0.010)
+            cluster.run(until=0.040)
+        t_standalone = standalone.fd.detections[0][0]
+        t_quorum = quorum.fd.detections[0][0]
+        assert t_quorum > t_standalone
+
+    def test_quorum_recovers_end_to_end_under_20ms(self):
+        """§6.4: even with three FD replicas, recovery < 20 ms."""
+        cluster = make_cluster(
+            distributed=True, fd_timeout=5e-3, fd_agreement_delay=2e-3
+        )
+        cluster.crash_compute(0, at=0.010)
+        cluster.run(until=0.060)
+        record = cluster.recovery.records[0]
+        assert record.finished_at - 0.010 < 20e-3
+
+    def test_invalid_replica_count(self):
+        from repro.recovery.distributed_fd import DistributedFailureDetector
+        from repro.sim import Simulator
+
+        with pytest.raises(ValueError):
+            DistributedFailureDetector(Simulator(), replicas=2)
+
+    def test_replica_sinks_are_independent(self):
+        from repro.recovery.distributed_fd import DistributedFailureDetector
+        from repro.sim import Simulator
+
+        fd = DistributedFailureDetector(Simulator(), replicas=3)
+        sinks = fd.heartbeat_sinks()
+        assert len(sinks) == 3
+        assert len({id(sink) for sink in sinks}) == 3
+
+
+class TestFencing:
+    def test_falsely_suspected_node_is_fenced(self):
+        """Cor1: after active-link termination the suspected node's
+        verbs fail, and it stops issuing transactions."""
+        cluster = make_cluster(fd_timeout=5e-3)
+        node = cluster.compute_nodes[0]
+        # Simulate a network partition of heartbeats only: stop the
+        # heartbeat process but keep the coordinators running.
+        node._heartbeat_process.kill()
+        node._heartbeat_process = None
+        cluster.run(until=0.040)
+        # The detector declared it failed and revoked its links...
+        assert any(d[2] == 0 for d in cluster.fd.detections)
+        assert all(
+            memory.is_revoked(0) for memory in cluster.memory_nodes.values()
+        )
+        # ...and the node self-fenced rather than split-braining.
+        assert node.fenced

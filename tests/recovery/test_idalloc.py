@@ -1,0 +1,96 @@
+"""Tests for coordinator-id allocation and recycling (§3.1.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.locks import ANONYMOUS_OWNER
+from repro.recovery.idalloc import IdAllocator
+
+
+class TestAllocation:
+    def test_ids_are_unique_and_serial(self):
+        allocator = IdAllocator()
+        ids = [allocator.allocate() for _ in range(100)]
+        assert ids == list(range(100))
+
+    def test_exhaustion_raises(self):
+        allocator = IdAllocator(capacity=4)
+        for _ in range(4):
+            allocator.allocate()
+        with pytest.raises(RuntimeError):
+            allocator.allocate()
+
+    def test_anonymous_owner_reserved(self):
+        allocator = IdAllocator()
+        with pytest.raises(ValueError):
+            allocator.mark_failed(ANONYMOUS_OWNER)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            IdAllocator(capacity=0)
+
+
+class TestFailedIds:
+    def test_mark_failed_tracks(self):
+        allocator = IdAllocator()
+        first = allocator.allocate()
+        allocator.mark_failed(first)
+        assert first in allocator.failed
+        assert allocator.failed_ids() == [first]
+
+    def test_recycling_threshold(self):
+        allocator = IdAllocator(capacity=100, recycle_threshold=0.95)
+        for _ in range(94):
+            allocator.allocate()
+        assert not allocator.needs_recycling
+        allocator.allocate()
+        assert allocator.needs_recycling
+
+
+class TestRecycling:
+    def test_recycled_ids_are_reused(self):
+        allocator = IdAllocator(capacity=4)
+        ids = [allocator.allocate() for _ in range(4)]
+        allocator.mark_failed(ids[1])
+        assert allocator.recycle([ids[1]]) == 1
+        assert allocator.allocate() == ids[1]
+
+    def test_only_failed_ids_recycle(self):
+        allocator = IdAllocator()
+        live = allocator.allocate()
+        assert allocator.recycle([live]) == 0  # never marked failed
+
+    def test_recycle_clears_failed_set(self):
+        allocator = IdAllocator()
+        coord = allocator.allocate()
+        allocator.mark_failed(coord)
+        allocator.recycle([coord])
+        assert coord not in allocator.failed
+
+
+@given(st.lists(st.sampled_from(["alloc", "fail", "recycle"]), max_size=300))
+@settings(max_examples=50)
+def test_never_hands_out_failed_unrecycled_id(operations):
+    """Property: an id in the failed set is never re-allocated until
+    it has gone through recycling — the invariant that keeps stray
+    locks attributable (§3.1.2)."""
+    allocator = IdAllocator(capacity=64)
+    live = []
+    failed = []
+    for op in operations:
+        if op == "alloc":
+            try:
+                coord = allocator.allocate()
+            except RuntimeError:
+                continue
+            assert coord not in allocator.failed
+            assert coord not in live
+            live.append(coord)
+        elif op == "fail" and live:
+            coord = live.pop(0)
+            allocator.mark_failed(coord)
+            failed.append(coord)
+        elif op == "recycle" and failed:
+            coord = failed.pop(0)
+            assert allocator.recycle([coord]) == 1

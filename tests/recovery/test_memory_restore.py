@@ -1,0 +1,106 @@
+"""Re-replication of a restored memory server (§3.2.5)."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import SmallBank
+from repro.workloads.smallbank import INITIAL_BALANCE
+
+ACCOUNTS = 300
+
+
+def make_cluster():
+    cluster = Cluster(
+        ClusterConfig(
+            memory_nodes=3,
+            replication_degree=2,
+            coordinators_per_node=3,
+            seed=95,
+            fd_timeout=2e-3,
+            fd_heartbeat_interval=0.5e-3,
+            fd_check_interval=0.25e-3,
+        ),
+        SmallBank(accounts=ACCOUNTS, conserving_only=True),
+    )
+    cluster.start()
+    return cluster
+
+
+class TestMemoryRestore:
+    def test_restored_node_serves_again(self):
+        cluster = make_cluster()
+        cluster.crash_memory(0, at=0.008)
+        cluster.run(until=0.020)
+        assert 0 in cluster.placement.down_nodes
+        cluster.restore_memory(0)
+        cluster.run(until=0.040)
+        assert 0 not in cluster.placement.down_nodes
+        assert cluster.memory_nodes[0].alive
+
+    def test_rereplication_copies_fresh_state(self):
+        cluster = make_cluster()
+        cluster.crash_memory(0, at=0.008)
+        cluster.run(until=0.025)  # transfers happen while 0 is down
+        cluster.restore_memory(0)
+        cluster.run(until=0.050)
+        # Quiesce and check the restored node matches its peers.
+        for node in cluster.compute_nodes.values():
+            node.pause()
+        cluster.run(until=0.052)
+        catalog = cluster.catalog
+        for table_id in (0, 1):
+            for account in range(ACCOUNTS):
+                slot = catalog.slot_for(table_id, account)
+                replicas = catalog.replicas(table_id, slot)
+                if 0 not in replicas:
+                    continue
+                versions = {
+                    cluster.memory_nodes[nid].slot(table_id, slot).version
+                    for nid in replicas
+                }
+                assert len(versions) == 1, f"stale replica at {table_id}/{account}"
+
+    def test_money_conserved_through_restore_cycle(self):
+        cluster = make_cluster()
+        workload = cluster.workload
+        cluster.crash_memory(0, at=0.008)
+        cluster.run(until=0.020)
+        cluster.restore_memory(0)
+        cluster.run(until=0.045)
+        for node in cluster.compute_nodes.values():
+            node.pause()
+        cluster.run(until=0.047)
+        total = workload.total_balance(cluster.catalog, cluster.memory_nodes)
+        assert total == 2 * ACCOUNTS * INITIAL_BALANCE
+
+    def test_restore_is_stop_the_world(self):
+        cluster = make_cluster()
+        cluster.crash_memory(0, at=0.008)
+        cluster.run(until=0.020)
+        paused_seen = {}
+
+        def probe():
+            while True:
+                if all(n.paused for n in cluster.compute_nodes.values()):
+                    paused_seen["yes"] = cluster.sim.now
+                yield cluster.sim.timeout(0.1e-3)
+
+        cluster.sim.process(probe())
+        cluster.restore_memory(0)
+        cluster.run(until=0.040)
+        assert "yes" in paused_seen
+        assert not any(n.paused for n in cluster.compute_nodes.values())
+
+    def test_restore_record_tracks_bytes(self):
+        cluster = make_cluster()
+        cluster.crash_memory(0, at=0.008)
+        cluster.run(until=0.020)
+        cluster.restore_memory(0)
+        cluster.run(until=0.040)
+        records = [r for r in cluster.recovery.records if r.kind == "memory-restore"]
+        assert len(records) == 1
+        assert records[0].scanned_slots > 0  # bytes copied
+
+    def test_restore_alive_node_is_noop(self):
+        cluster = make_cluster()
+        assert cluster.recovery.restore_memory_node(cluster.memory_nodes[0]) is None

@@ -1,0 +1,112 @@
+"""Tests for coordinator-id recycling (§3.1.2)."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.protocol.locks import encode_lock, is_locked
+from repro.recovery.idalloc import IdAllocator
+from repro.workloads import MicroBenchmark
+
+
+def make_cluster(**overrides):
+    defaults = dict(
+        coordinators_per_node=2,
+        seed=61,
+        fd_timeout=2e-3,
+        fd_heartbeat_interval=0.5e-3,
+    )
+    defaults.update(overrides)
+    cluster = Cluster(
+        ClusterConfig(**defaults),
+        MicroBenchmark(num_keys=300, write_ratio=1.0, hot_keys=50),
+    )
+    cluster.start()
+    return cluster
+
+
+class TestRecyclerPass:
+    def test_releases_stray_locks_and_recycles(self):
+        cluster = make_cluster()
+        cluster.run(until=0.002)
+        # Manufacture a failed coordinator with stray locks on cold keys.
+        dead_id = cluster.id_allocator.allocate()
+        cluster.id_allocator.mark_failed(dead_id)
+        catalog = cluster.catalog
+        for key in (250, 260, 270):
+            slot = catalog.slot_for(0, key)
+            primary = catalog.primary(0, slot)
+            cluster.memory_nodes[primary].slot(0, slot).lock = encode_lock(dead_id)
+        for node in cluster.compute_nodes.values():
+            node.add_failed_ids([dead_id])
+
+        process = cluster.recycler.run_once()
+        cluster.run(until=cluster.sim.now + 0.050)
+        assert process.triggered
+        assert cluster.recycler.locks_released == 3
+        assert cluster.recycler.ids_recycled == 1
+        for key in (250, 260, 270):
+            slot = catalog.slot_for(0, key)
+            primary = catalog.primary(0, slot)
+            assert not is_locked(cluster.memory_nodes[primary].slot(0, slot).lock)
+
+    def test_compute_nodes_forget_recycled_ids(self):
+        cluster = make_cluster()
+        cluster.run(until=0.002)
+        dead_id = cluster.id_allocator.allocate()
+        cluster.id_allocator.mark_failed(dead_id)
+        for node in cluster.compute_nodes.values():
+            node.add_failed_ids([dead_id])
+        cluster.recycler.run_once()
+        cluster.run(until=cluster.sim.now + 0.050)
+        for node in cluster.compute_nodes.values():
+            assert dead_id not in node.failed_ids
+
+    def test_recycled_id_is_reallocated(self):
+        cluster = make_cluster()
+        cluster.run(until=0.002)
+        dead_id = cluster.id_allocator.allocate()
+        cluster.id_allocator.mark_failed(dead_id)
+        cluster.recycler.run_once()
+        cluster.run(until=cluster.sim.now + 0.050)
+        assert cluster.id_allocator.allocate() == dead_id
+
+    def test_noop_without_failed_ids(self):
+        cluster = make_cluster()
+        cluster.run(until=0.002)
+        process = cluster.recycler.run_once()
+        cluster.run(until=cluster.sim.now + 0.010)
+        assert process.triggered
+        assert cluster.recycler.ids_recycled == 0
+
+    def test_live_locks_are_untouched(self):
+        cluster = make_cluster()
+        cluster.run(until=0.002)
+        live_id = cluster.compute_nodes[0].coordinators[0].coord_id
+        dead_id = cluster.id_allocator.allocate()
+        cluster.id_allocator.mark_failed(dead_id)
+        catalog = cluster.catalog
+        slot = catalog.slot_for(0, 280)
+        primary = catalog.primary(0, slot)
+        word = encode_lock(live_id, tag=3)
+        cluster.memory_nodes[primary].slot(0, slot).lock = word
+        cluster.recycler.run_once()
+        cluster.run(until=cluster.sim.now + 0.050)
+        assert cluster.memory_nodes[primary].slot(0, slot).lock == word
+
+
+class TestRecyclerTrigger:
+    def test_watch_triggers_past_threshold(self):
+        cluster = make_cluster()
+        # Exhaust (nearly) the id space with already-failed ids.
+        allocator = cluster.id_allocator
+        small = IdAllocator(capacity=32, recycle_threshold=0.9)
+        # Swap in a tiny allocator shared by the watch + recycler.
+        cluster.id_allocator = small
+        cluster.recycler.id_allocator = small
+        for _ in range(30):
+            small.mark_failed(small.allocate())
+        assert small.needs_recycling
+        cluster.run(until=0.060)
+        assert cluster.recycler.runs >= 1
+        assert not small.needs_recycling or small.consumed_ratio < 1.0
+        assert cluster.recycler.ids_recycled == 30

@@ -1,0 +1,114 @@
+"""Property tests for the roll-forward/roll-back decision (Cor2/Cor3).
+
+For an arbitrary partially-applied Logged-Stray-Tx, recovery must
+either complete it on every replica or erase it from every replica —
+never leave a mixed state — and the choice must be roll-forward iff
+every replica of every written object was updated (only then could a
+commit-ack have reached the client).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, ClusterConfig
+from repro.memory.node import LogRecord
+from repro.protocol.locks import encode_lock
+from repro.workloads import MicroBenchmark
+
+KEYS = 40
+
+
+def build_cluster(seed=71):
+    cluster = Cluster(
+        ClusterConfig(
+            memory_nodes=3,
+            replication_degree=2,
+            compute_nodes=2,
+            coordinators_per_node=1,
+            seed=seed,
+            fd_timeout=1e-3,
+            fd_heartbeat_interval=0.3e-3,
+            fd_check_interval=0.15e-3,
+        ),
+        MicroBenchmark(num_keys=KEYS, write_ratio=1.0),
+    )
+    cluster.start(run_coordinators=False)
+    return cluster
+
+
+@given(
+    write_set_size=st.integers(1, 4),
+    # For each object: a bitmask of which replicas took the update.
+    applied_pattern=st.lists(st.integers(0, 3), min_size=4, max_size=4),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_recovery_leaves_all_or_nothing(write_set_size, applied_pattern, seed):
+    cluster = build_cluster(seed=71)
+    sim = cluster.sim
+    sim.run(until=1e-3)
+    coord = cluster.compute_nodes[0].coordinators[0]
+    catalog = cluster.catalog
+    rng = random.Random(seed)
+
+    keys = rng.sample(range(KEYS), write_set_size)
+    entries = []
+    fully_applied = True
+    for index, key in enumerate(keys):
+        slot = catalog.slot_for(0, key)
+        replicas = catalog.replicas(0, slot)
+        base = cluster.memory_nodes[replicas[0]].slot(0, slot).version
+        mask = applied_pattern[index % len(applied_pattern)]
+        applied_any = False
+        for bit, node_id in enumerate(replicas):
+            if mask & (1 << bit):
+                entry = cluster.memory_nodes[node_id].slot(0, slot)
+                entry.version = base + 1
+                entry.value = ("new", key)
+                applied_any = True
+            else:
+                fully_applied = False
+        # The primary lock is held by the (about to fail) coordinator.
+        primary = catalog.primary(0, slot)
+        cluster.memory_nodes[primary].slot(0, slot).lock = encode_lock(
+            coord.coord_id, tag=index + 1
+        )
+        entries.append(
+            (0, slot, key, base, base + 1, ("old", key), ("new", key), True, True)
+        )
+
+    record_entries = tuple(entries)
+    for node_id in catalog.log_nodes(coord.coord_id):
+        cluster.memory_nodes[node_id]._op_write_log(
+            0,
+            (
+                LogRecord(
+                    coord_id=coord.coord_id, txn_id=4242, entries=record_entries
+                ),
+            ),
+        )
+
+    cluster.compute_nodes[0].crash()
+    sim.run(until=sim.now + 20e-3)
+    record = [r for r in cluster.recovery.records if r.kind == "compute"][0]
+
+    # Decision matches the criterion.
+    if fully_applied:
+        assert record.rolled_forward == 1 and record.rolled_back == 0
+    else:
+        assert record.rolled_back == 1 and record.rolled_forward == 0
+
+    # Atomicity: afterwards every replica of every object agrees, and
+    # the state is either all-new or all-old.
+    states = set()
+    for key in keys:
+        slot = catalog.slot_for(0, key)
+        for node_id in catalog.replicas(0, slot):
+            entry = cluster.memory_nodes[node_id].slot(0, slot)
+            states.add(entry.value[0] if isinstance(entry.value, tuple) else "old")
+            assert entry.lock == 0  # stray locks released
+    assert len(states) == 1, f"mixed outcome: {states}"
+    assert ("new" in states) == fully_applied

@@ -1,0 +1,67 @@
+"""Tests for the fast-path event completion added for the RDMA fabric."""
+
+import pytest
+
+from repro.sim import Event, Simulator
+
+
+class TestFinishNow:
+    def test_runs_callbacks_synchronously(self):
+        sim = Simulator()
+        event = Event(sim)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.finish_now("payload")
+        assert seen == ["payload"]  # no kernel step needed
+        assert event.processed
+
+    def test_failure_path(self):
+        sim = Simulator()
+        event = Event(sim)
+        caught = []
+
+        def proc():
+            try:
+                yield event
+            except KeyError as error:
+                caught.append(error.args[0])
+
+        sim.process(proc())
+        sim.run(until=0.0)
+        event.finish_now(None, KeyError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_double_finish_raises(self):
+        sim = Simulator()
+        event = Event(sim)
+        event.finish_now(1)
+        with pytest.raises(RuntimeError):
+            event.finish_now(2)
+
+    def test_yielding_already_finished_event_resumes(self):
+        sim = Simulator()
+        event = Event(sim)
+        event.finish_now(42)
+
+        def proc():
+            value = yield event
+            return value
+
+        assert sim.run_until_complete(sim.process(proc())) == 42
+
+    def test_mixed_with_scheduled_events_keeps_order(self):
+        sim = Simulator()
+        trace = []
+
+        def waiter(tag, evt):
+            value = yield evt
+            trace.append((tag, value, sim.now))
+
+        scheduled = sim.timeout(1.0, "slow")
+        fast = Event(sim)
+        sim.process(waiter("a", fast))
+        sim.process(waiter("b", scheduled))
+        sim.call_at(0.5, lambda: fast.finish_now("fast"))
+        sim.run()
+        assert trace == [("a", "fast", 0.5), ("b", "slow", 1.0)]

@@ -1,0 +1,330 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    ProcessKilled,
+    Simulator,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestTimeAdvancement:
+    def test_initial_time_is_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_timeout_advances_clock(self, sim):
+        fired = []
+
+        def proc():
+            yield sim.timeout(1.5)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert fired == [1.5]
+
+    def test_run_until_stops_clock_exactly(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+    def test_run_until_in_past_raises(self, sim):
+        sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=0.5)
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+
+        def proc(delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.process(proc(3.0, "c"))
+        sim.process(proc(1.0, "a"))
+        sim.process(proc(2.0, "b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self, sim):
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in range(5):
+            sim.process(proc(tag))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_negative_timeout_raises(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self, sim):
+        event = sim.event()
+        seen = []
+
+        def proc():
+            value = yield event
+            seen.append(value)
+
+        sim.process(proc())
+        sim.call_at(2.0, lambda: event.succeed("payload"))
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_fail_raises_in_process(self, sim):
+        event = sim.event()
+        caught = []
+
+        def proc():
+            try:
+                yield event
+            except ValueError as error:
+                caught.append(str(error))
+
+        sim.process(proc())
+        sim.call_soon(lambda: event.fail(ValueError("boom")))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_double_succeed_raises(self, sim):
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(RuntimeError):
+            event.succeed(2)
+
+    def test_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(RuntimeError):
+            _ = event.value
+
+    def test_late_callback_still_fires(self, sim):
+        event = sim.event()
+        event.succeed(7)
+        sim.run()
+        assert event.processed
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [7]
+
+
+class TestProcesses:
+    def test_process_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return 42
+
+        process = sim.process(proc())
+        result = sim.run_until_complete(process)
+        assert result == 42
+
+    def test_process_exception_propagates_to_joiner(self, sim):
+        def failing():
+            yield sim.timeout(1.0)
+            raise RuntimeError("inner")
+
+        caught = []
+
+        def joiner():
+            try:
+                yield sim.process(failing())
+            except RuntimeError as error:
+                caught.append(str(error))
+
+        sim.process(joiner())
+        sim.run()
+        assert caught == ["inner"]
+
+    def test_yield_from_subgenerator(self, sim):
+        def sub():
+            yield sim.timeout(1.0)
+            return "sub-value"
+
+        def main():
+            value = yield from sub()
+            return value
+
+        process = sim.process(main())
+        assert sim.run_until_complete(process) == "sub-value"
+
+    def test_kill_stops_process(self, sim):
+        progress = []
+
+        def proc():
+            progress.append("start")
+            yield sim.timeout(5.0)
+            progress.append("end")
+
+        process = sim.process(proc())
+        sim.run(until=1.0)
+        process.kill()
+        sim.run()
+        assert progress == ["start"]
+        assert not process.is_alive
+        with pytest.raises(ProcessKilled):
+            _ = process.value
+
+    def test_kill_is_idempotent(self, sim):
+        def proc():
+            yield sim.timeout(5.0)
+
+        process = sim.process(proc())
+        sim.run(until=1.0)
+        process.kill()
+        process.kill()
+        sim.run()
+        assert not process.is_alive
+
+    def test_interrupt_raises_in_process(self, sim):
+        caught = []
+
+        def proc():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt as interrupt:
+                caught.append(interrupt.cause)
+
+        process = sim.process(proc())
+        sim.run(until=1.0)
+        process.interrupt("because")
+        sim.run()
+        assert caught == ["because"]
+
+    def test_interrupted_process_can_continue(self, sim):
+        trace = []
+
+        def proc():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt:
+                trace.append(("interrupted", sim.now))
+            yield sim.timeout(2.0)
+            trace.append(("done", sim.now))
+
+        process = sim.process(proc())
+        sim.run(until=1.0)
+        process.interrupt()
+        sim.run()
+        assert trace == [("interrupted", 1.0), ("done", 3.0)]
+
+    def test_yielding_non_event_raises(self, sim):
+        def proc():
+            yield 42
+
+        process = sim.process(proc())
+        sim.run()
+        with pytest.raises(TypeError):
+            _ = process.value
+
+    def test_deadlock_detection(self, sim):
+        def proc():
+            yield sim.event()  # never fires
+
+        process = sim.process(proc())
+        with pytest.raises(RuntimeError, match="deadlock"):
+            sim.run_until_complete(process)
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        times = []
+
+        def proc():
+            events = [sim.timeout(1.0, "a"), sim.timeout(3.0, "b"), sim.timeout(2.0, "c")]
+            values = yield sim.all_of(events)
+            times.append((sim.now, values))
+
+        sim.process(proc())
+        sim.run()
+        assert times == [(3.0, ["a", "b", "c"])]
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        done = []
+
+        def proc():
+            values = yield sim.all_of([])
+            done.append(values)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [[]]
+
+    def test_any_of_fires_on_first(self, sim):
+        results = []
+
+        def proc():
+            events = [sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")]
+            index, value = yield sim.any_of(events)
+            results.append((sim.now, index, value))
+
+        sim.process(proc())
+        sim.run()
+        assert results == [(1.0, 1, "fast")]
+
+    def test_all_of_propagates_failure(self, sim):
+        event = sim.event()
+        caught = []
+
+        def proc():
+            try:
+                yield sim.all_of([sim.timeout(5.0), event])
+            except KeyError as error:
+                caught.append(error.args[0])
+
+        sim.process(proc())
+        sim.call_at(1.0, lambda: event.fail(KeyError("bad")))
+        sim.run()
+        assert caught == ["bad"]
+
+
+class TestCallScheduling:
+    def test_call_soon_runs_at_current_time(self, sim):
+        times = []
+        sim.call_soon(lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.0]
+
+    def test_call_at_runs_at_absolute_time(self, sim):
+        times = []
+        sim.call_at(4.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [4.5]
+
+    def test_call_at_past_raises(self, sim):
+        sim.timeout(2.0)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_determinism_across_runs(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+
+            def worker(tag, delay):
+                for _ in range(3):
+                    yield sim.timeout(delay)
+                    trace.append((sim.now, tag))
+
+            for tag in range(4):
+                sim.process(worker(tag, 0.5 + tag * 0.25))
+            sim.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

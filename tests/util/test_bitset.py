@@ -1,0 +1,116 @@
+"""Unit + property tests for the failed-ids bitset."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bitset import Bitset
+
+
+class TestBitsetBasics:
+    def test_empty(self):
+        bits = Bitset(16)
+        assert len(bits) == 0
+        assert 3 not in bits
+
+    def test_add_and_contains(self):
+        bits = Bitset(64)
+        assert bits.add(5)
+        assert 5 in bits
+        assert len(bits) == 1
+
+    def test_double_add_returns_false(self):
+        bits = Bitset(64)
+        assert bits.add(5)
+        assert not bits.add(5)
+        assert len(bits) == 1
+
+    def test_discard(self):
+        bits = Bitset(64)
+        bits.add(7)
+        assert bits.discard(7)
+        assert 7 not in bits
+        assert not bits.discard(7)
+
+    def test_out_of_range_add_raises(self):
+        bits = Bitset(8)
+        with pytest.raises(IndexError):
+            bits.add(8)
+        with pytest.raises(IndexError):
+            bits.add(-1)
+
+    def test_out_of_range_contains_is_false(self):
+        bits = Bitset(8)
+        assert 100 not in bits
+        assert -1 not in bits
+
+    def test_iteration_in_order(self):
+        bits = Bitset(100)
+        for index in (30, 2, 77):
+            bits.add(index)
+        assert list(bits) == [2, 30, 77]
+
+    def test_clear(self):
+        bits = Bitset(32)
+        bits.add(1)
+        bits.add(2)
+        bits.clear()
+        assert len(bits) == 0
+        assert 1 not in bits
+
+    def test_copy_is_independent(self):
+        bits = Bitset(32)
+        bits.add(4)
+        clone = bits.copy()
+        clone.add(5)
+        assert 5 in clone
+        assert 5 not in bits
+
+    def test_update_from(self):
+        left = Bitset(32)
+        right = Bitset(32)
+        left.add(1)
+        right.add(2)
+        left.update_from(right)
+        assert 1 in left and 2 in left
+        assert len(left) == 2
+
+    def test_update_from_capacity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Bitset(8).update_from(Bitset(16))
+
+    def test_fill_ratio_drives_recycling(self):
+        bits = Bitset(10)
+        for index in range(9):
+            bits.add(index)
+        assert bits.fill_ratio == pytest.approx(0.9)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Bitset(0)
+
+    def test_64k_entries_constant_membership(self):
+        """The PILL check must stay O(1) at the 64K design size."""
+        bits = Bitset(65536)
+        bits.add(65535)
+        assert 65535 in bits
+        assert 65534 not in bits
+
+
+@given(st.lists(st.tuples(st.sampled_from(["add", "discard"]), st.integers(0, 255))))
+@settings(max_examples=200)
+def test_bitset_matches_model_set(operations):
+    """Property: Bitset behaves exactly like a Python set."""
+    bits = Bitset(256)
+    model = set()
+    for op, index in operations:
+        if op == "add":
+            assert bits.add(index) == (index not in model)
+            model.add(index)
+        else:
+            assert bits.discard(index) == (index in model)
+            model.discard(index)
+        assert len(bits) == len(model)
+    assert sorted(model) == list(bits)
+    for index in range(256):
+        assert (index in bits) == (index in model)

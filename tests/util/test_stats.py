@@ -1,0 +1,144 @@
+"""Tests for online statistics, histograms, and timelines."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import Histogram, OnlineStats, ThroughputTimeline
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        stats = OnlineStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_single_value(self):
+        stats = OnlineStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.min == 5.0
+        assert stats.max == 5.0
+
+    def test_mean_and_std(self):
+        stats = OnlineStats()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for value in values:
+            stats.add(value)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stddev == pytest.approx(2.138, abs=1e-3)
+
+    def test_merge_matches_combined(self):
+        rng = random.Random(1)
+        left, right, combined = OnlineStats(), OnlineStats(), OnlineStats()
+        for _ in range(100):
+            value = rng.random()
+            left.add(value)
+            combined.add(value)
+        for _ in range(50):
+            value = rng.random() * 10
+            right.add(value)
+            combined.add(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+        assert left.min == combined.min
+        assert left.max == combined.max
+
+    def test_merge_into_empty(self):
+        left, right = OnlineStats(), OnlineStats()
+        right.add(3.0)
+        left.merge(right)
+        assert left.count == 1
+        assert left.mean == 3.0
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=10.0), min_size=1, max_size=300))
+@settings(max_examples=100)
+def test_online_stats_mean_matches_numpy(values):
+    stats = OnlineStats()
+    for value in values:
+        stats.add(value)
+    assert stats.mean == pytest.approx(sum(values) / len(values), rel=1e-9)
+    assert stats.min == min(values)
+    assert stats.max == max(values)
+
+
+class TestHistogram:
+    def test_percentile_monotonic(self):
+        hist = Histogram()
+        rng = random.Random(2)
+        for _ in range(5000):
+            hist.add(rng.lognormvariate(-10, 1))
+        p50 = hist.percentile(50)
+        p90 = hist.percentile(90)
+        p99 = hist.percentile(99)
+        assert p50 <= p90 <= p99
+
+    def test_percentile_approximates_exact(self):
+        hist = Histogram(buckets_per_decade=50)
+        rng = random.Random(3)
+        values = sorted(rng.uniform(1e-5, 1e-3) for _ in range(10000))
+        for value in values:
+            hist.add(value)
+        exact_p50 = values[len(values) // 2]
+        assert hist.percentile(50) == pytest.approx(exact_p50, rel=0.15)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(99) == 0.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(min_value=0)
+        with pytest.raises(ValueError):
+            Histogram(min_value=1.0, max_value=0.5)
+
+    def test_out_of_range_values_clamp(self):
+        hist = Histogram(min_value=1e-3, max_value=1.0)
+        hist.add(1e-9)
+        hist.add(100.0)
+        assert hist.count == 2
+
+
+class TestThroughputTimeline:
+    def test_record_and_series(self):
+        timeline = ThroughputTimeline(window=0.1)
+        timeline.record(0.05)
+        timeline.record(0.06)
+        timeline.record(0.25)
+        series = timeline.series()
+        assert series[0] == (0.0, 20.0)  # 2 events / 0.1 s
+        assert series[1] == (pytest.approx(0.1), 0.0)
+        assert series[2] == (pytest.approx(0.2), 10.0)
+
+    def test_total(self):
+        timeline = ThroughputTimeline(window=0.1)
+        for t in (0.0, 0.01, 0.5):
+            timeline.record(t)
+        assert timeline.total == 3
+
+    def test_rate_between(self):
+        timeline = ThroughputTimeline(window=0.01)
+        for index in range(100):
+            timeline.record(index * 0.001)  # 100 events over 0.1 s
+        assert timeline.rate_between(0.0, 0.1) == pytest.approx(1000.0)
+
+    def test_rate_between_invalid(self):
+        with pytest.raises(ValueError):
+            ThroughputTimeline(0.1).rate_between(1.0, 1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ThroughputTimeline(0)
+
+    def test_empty_series(self):
+        assert ThroughputTimeline(0.1).series() == []

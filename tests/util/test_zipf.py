@@ -1,0 +1,56 @@
+"""Tests for the workload key samplers."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.util.zipf import HotSetSampler, UniformSampler, ZipfSampler
+
+
+class TestZipfSampler:
+    def test_range(self):
+        sampler = ZipfSampler(100, 0.99, random.Random(1))
+        for _ in range(1000):
+            assert 0 <= sampler.sample() < 100
+
+    def test_skew_favors_low_ranks(self):
+        sampler = ZipfSampler(1000, 0.99, random.Random(2))
+        counts = Counter(sampler.sample() for _ in range(20000))
+        top10 = sum(counts[i] for i in range(10))
+        assert top10 > 20000 * 0.3  # heavy head
+
+    def test_theta_zero_is_uniform(self):
+        sampler = ZipfSampler(10, 0.0, random.Random(3))
+        counts = Counter(sampler.sample() for _ in range(20000))
+        for index in range(10):
+            assert counts[index] == pytest.approx(2000, rel=0.2)
+
+    def test_sample_with_external_rng_deterministic(self):
+        sampler = ZipfSampler(50, 0.9, random.Random(0))
+        first = [sampler.sample_with(random.Random(9)) for _ in range(10)]
+        second = [sampler.sample_with(random.Random(9)) for _ in range(10)]
+        # Each call with a fresh identical RNG gives the same value.
+        assert first == second
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 0.9, random.Random(0))
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.5, random.Random(0))
+
+
+class TestUniformAndHotSet:
+    def test_uniform_range(self):
+        sampler = UniformSampler(10, random.Random(1))
+        assert all(0 <= sampler.sample() < 10 for _ in range(100))
+
+    def test_hot_set_confined(self):
+        sampler = HotSetSampler(5, random.Random(1))
+        assert all(0 <= sampler.sample() < 5 for _ in range(100))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0, random.Random(0))
+        with pytest.raises(ValueError):
+            HotSetSampler(0, random.Random(0))

@@ -1,0 +1,87 @@
+"""Tests for the microbenchmark workload."""
+
+import random
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import MicroBenchmark
+
+
+class TestConfig:
+    def test_invalid_write_ratio(self):
+        with pytest.raises(ValueError):
+            MicroBenchmark(write_ratio=1.5)
+
+    def test_invalid_hot_keys(self):
+        with pytest.raises(ValueError):
+            MicroBenchmark(num_keys=10, hot_keys=20)
+
+    def test_invalid_ops(self):
+        with pytest.raises(ValueError):
+            MicroBenchmark(ops_per_txn=0)
+
+
+class TestTransactionShape:
+    def test_pure_writes_are_plain_logic(self):
+        workload = MicroBenchmark(num_keys=100, write_ratio=1.0, rmw=False)
+        logic = workload.next_transaction(random.Random(1))
+        # Pure blind-write logic is a plain function, not a generator fn.
+        assert not hasattr(logic(_FakeTx()), "__next__")
+
+    def test_hot_keys_confine_access(self):
+        workload = MicroBenchmark(num_keys=1000, hot_keys=10, write_ratio=1.0)
+        rng = random.Random(2)
+        for _ in range(50):
+            assert workload._sample_key(rng) < 10
+
+    def test_zipf_mode(self):
+        workload = MicroBenchmark(num_keys=100, zipf_theta=0.99)
+        rng = random.Random(3)
+        keys = [workload._sample_key(rng) for _ in range(200)]
+        assert all(0 <= key < 100 for key in keys)
+
+
+class _FakeTx:
+    def __init__(self):
+        self.writes = []
+
+    def write(self, table, key, value):
+        self.writes.append((table, key, value))
+
+
+class TestEndToEnd:
+    def _run(self, **kwargs):
+        workload = MicroBenchmark(num_keys=500, **kwargs)
+        cluster = Cluster(
+            ClusterConfig(coordinators_per_node=2, seed=9), workload
+        )
+        cluster.start()
+        cluster.run(until=0.01)
+        return cluster
+
+    def test_write_only_commits(self):
+        cluster = self._run(write_ratio=1.0, rmw=False)
+        assert cluster.aggregate_stats().commits > 100
+
+    def test_read_only_commits(self):
+        cluster = self._run(write_ratio=0.0)
+        stats = cluster.aggregate_stats()
+        assert stats.commits > 100
+
+    def test_rmw_increments_survive(self):
+        cluster = self._run(write_ratio=1.0, rmw=True, hot_keys=20)
+        # Quiesce so no transaction is mid-commit (applied but not
+        # yet acked) when we audit.
+        for node in cluster.compute_nodes.values():
+            node.pause()
+        cluster.run(until=cluster.sim.now + 2e-3)
+        stats = cluster.aggregate_stats()
+        # Every committed RMW adds exactly ops_per_txn increments.
+        total = 0
+        catalog = cluster.catalog
+        for key in range(500):
+            slot = catalog.slot_for(0, key)
+            primary = catalog.primary(0, slot)
+            total += cluster.memory_nodes[primary].slot(0, slot).value
+        assert total == stats.commits * 2  # ops_per_txn defaults to 2

@@ -1,0 +1,83 @@
+"""Tests for the SmallBank workload, including money conservation."""
+
+import random
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import SmallBank
+from repro.workloads.smallbank import INITIAL_BALANCE
+
+
+class TestConfig:
+    def test_minimum_accounts(self):
+        with pytest.raises(ValueError):
+            SmallBank(accounts=1)
+
+    def test_hot_accounts_bounds(self):
+        with pytest.raises(ValueError):
+            SmallBank(accounts=10, hot_accounts=11)
+
+    def test_conserving_mix(self):
+        workload = SmallBank(accounts=10, conserving_only=True)
+        assert set(workload.mix) == {"send_payment", "amalgamate", "balance"}
+
+
+class TestMixGeneration:
+    def test_all_profiles_generated(self):
+        workload = SmallBank(accounts=100)
+        rng = random.Random(4)
+        kinds = set()
+        for _ in range(500):
+            logic = workload.next_transaction(rng)
+            kinds.add(logic.__qualname__.split(".")[1].replace("_txn_", ""))
+        # All six profiles appear over 500 draws.
+        assert len(kinds) == 6
+
+
+class TestEndToEnd:
+    def _cluster(self, conserving, until=0.02, crash=None):
+        workload = SmallBank(accounts=500, conserving_only=conserving)
+        cluster = Cluster(
+            ClusterConfig(coordinators_per_node=4, seed=10), workload
+        )
+        cluster.start()
+        if crash is not None:
+            cluster.crash_compute(0, at=crash)
+        cluster.run(until=until)
+        return workload, cluster
+
+    def test_commits_flow(self):
+        _workload, cluster = self._cluster(conserving=False)
+        assert cluster.aggregate_stats().commits > 200
+
+    def test_money_conserved_without_failures(self):
+        workload, cluster = self._cluster(conserving=True)
+        total = workload.total_balance(cluster.catalog, cluster.memory_nodes)
+        assert total == 2 * 500 * INITIAL_BALANCE
+
+    def test_money_conserved_across_compute_crash(self):
+        """The headline end-to-end invariant: a compute crash plus
+        recovery must not create or destroy money."""
+        workload, cluster = self._cluster(conserving=True, until=0.05, crash=0.01)
+        assert len(cluster.recovery.records) == 1
+        total = workload.total_balance(cluster.catalog, cluster.memory_nodes)
+        assert total == 2 * 500 * INITIAL_BALANCE
+
+    def test_replicas_converge_after_crash(self):
+        """All replicas of every account agree once recovery is done
+        and in-flight transactions finished."""
+        workload, cluster = self._cluster(conserving=True, until=0.05, crash=0.01)
+        # Pause everything so no transaction is mid-commit.
+        for node in cluster.compute_nodes.values():
+            node.pause()
+        cluster.run(until=0.052)
+        catalog = cluster.catalog
+        for table_id in (0, 1):
+            for account in range(500):
+                slot = catalog.slot_for(table_id, account)
+                values = {
+                    cluster.memory_nodes[n].slot(table_id, slot).value
+                    for n in catalog.replicas(table_id, slot)
+                }
+                assert len(values) == 1, f"replica divergence at {table_id}/{account}"

@@ -1,0 +1,80 @@
+"""Tests for the TATP workload."""
+
+import random
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import Tatp
+
+
+class TestConfig:
+    def test_invalid_subscribers(self):
+        with pytest.raises(ValueError):
+            Tatp(subscribers=0)
+
+    def test_default_mix_is_80_percent_read(self):
+        workload = Tatp()
+        reads = sum(
+            weight
+            for kind, weight in workload.mix.items()
+            if kind.startswith("get_")
+        )
+        assert reads == pytest.approx(80)
+
+
+class TestSchema:
+    def test_four_tables(self):
+        from repro.kvs.catalog import Catalog
+        from repro.kvs.placement import Placement
+
+        catalog = Catalog(Placement([0, 1], replication_degree=2))
+        Tatp(subscribers=100).create_schema(catalog)
+        assert len(catalog.tables) == 4
+        assert set(catalog.tables_by_name) == {
+            "subscriber",
+            "access_info",
+            "special_facility",
+            "call_forwarding",
+        }
+
+
+class TestEndToEnd:
+    def _cluster(self, until=0.02, crash=None, seed=12):
+        workload = Tatp(subscribers=1000)
+        cluster = Cluster(ClusterConfig(coordinators_per_node=4, seed=seed), workload)
+        cluster.start()
+        if crash is not None:
+            cluster.crash_compute(0, at=crash)
+        cluster.run(until=until)
+        return workload, cluster
+
+    def test_commits_flow(self):
+        _workload, cluster = self._cluster()
+        stats = cluster.aggregate_stats()
+        assert stats.commits > 300
+
+    def test_insert_delete_cycle(self):
+        """Forwarding rows inserted then deleted leave presence sane:
+        every present call_forwarding row has an existing facility."""
+        _workload, cluster = self._cluster(until=0.03)
+        catalog = cluster.catalog
+        cf = catalog.tables_by_name["call_forwarding"].table_id
+        sf = catalog.tables_by_name["special_facility"].table_id
+        for key in catalog.known_keys(cf):
+            slot = catalog.slot_for(cf, key)
+            primary = catalog.primary(cf, slot)
+            if cluster.memory_nodes[primary].slot(cf, slot).present:
+                sid, sf_type, _hour = key
+                facility_slot = catalog.slot_for(sf, (sid, sf_type))
+                facility_primary = catalog.primary(sf, facility_slot)
+                assert cluster.memory_nodes[facility_primary].slot(
+                    sf, facility_slot
+                ).present
+
+    def test_survives_compute_crash(self):
+        _workload, cluster = self._cluster(until=0.05, crash=0.01)
+        assert len(cluster.recovery.records) == 1
+        # The surviving node keeps committing after recovery.
+        post = cluster.timeline.rate_between(0.03, 0.05)
+        assert post > 0

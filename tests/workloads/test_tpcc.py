@@ -1,0 +1,120 @@
+"""Tests for the TPC-C workload, including cross-table invariants."""
+
+import random
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.workloads import TpcC
+from repro.workloads.tpcc import (
+    DISTRICTS_PER_WAREHOUSE,
+    TABLE_DISTRICT,
+    TABLE_NEW_ORDER,
+    TABLE_ORDERS,
+)
+
+
+class TestSchema:
+    def test_nine_tables(self):
+        from repro.kvs.catalog import Catalog
+        from repro.kvs.placement import Placement
+
+        catalog = Catalog(Placement([0, 1], replication_degree=2))
+        TpcC(warehouses=1, customers_per_district=10, items=50).create_schema(catalog)
+        assert len(catalog.tables) == 9
+
+    def test_invalid_warehouses(self):
+        with pytest.raises(ValueError):
+            TpcC(warehouses=0)
+
+    def test_mix_is_write_heavy(self):
+        workload = TpcC()
+        writes = sum(
+            weight
+            for kind, weight in workload.mix.items()
+            if kind in ("new_order", "payment", "delivery")
+        )
+        assert writes == pytest.approx(92)
+
+
+def _cluster(until=0.02, crash=None, seed=13):
+    workload = TpcC(warehouses=2, customers_per_district=50, items=300)
+    cluster = Cluster(ClusterConfig(coordinators_per_node=4, seed=seed), workload)
+    cluster.start()
+    if crash is not None:
+        cluster.crash_compute(0, at=crash)
+    cluster.run(until=until)
+    return workload, cluster
+
+
+class TestEndToEnd:
+    def test_commits_flow(self):
+        _workload, cluster = _cluster()
+        assert cluster.aggregate_stats().commits > 200
+
+    def test_district_order_consistency(self):
+        """Invariant: for each district, next_o_id - 1 equals the
+        number of orders created (no order ids lost or duplicated)."""
+        workload, cluster = _cluster(until=0.03)
+        # Quiesce so no new-order is mid-commit.
+        for node in cluster.compute_nodes.values():
+            node.pause()
+        cluster.run(until=0.032)
+        catalog = cluster.catalog
+        for w in range(workload.warehouses):
+            for d in range(DISTRICTS_PER_WAREHOUSE):
+                slot = catalog.slot_for(TABLE_DISTRICT, (w, d))
+                primary = catalog.primary(TABLE_DISTRICT, slot)
+                district = cluster.memory_nodes[primary].slot(TABLE_DISTRICT, slot)
+                next_o_id = district.value["next_o_id"]
+                # Orders wrap onto a ring; count the distinct o_ids
+                # currently stored for this district.
+                seen = set()
+                for o_slot_index in range(workload.order_capacity):
+                    key = (w, d, o_slot_index)
+                    if key not in catalog._key_slots[TABLE_ORDERS]:
+                        continue
+                    slot_index = catalog.slot_for(TABLE_ORDERS, key)
+                    node_id = catalog.primary(TABLE_ORDERS, slot_index)
+                    entry = cluster.memory_nodes[node_id].slot(TABLE_ORDERS, slot_index)
+                    if entry.present:
+                        seen.add(entry.value["o_id"])
+                assert all(o_id < next_o_id for o_id in seen)
+
+    def test_new_order_rows_reference_orders(self):
+        """Every pending new_order row has a matching orders row."""
+        workload, cluster = _cluster(until=0.03)
+        for node in cluster.compute_nodes.values():
+            node.pause()
+        cluster.run(until=0.032)
+        catalog = cluster.catalog
+        for key in catalog.known_keys(TABLE_NEW_ORDER):
+            slot = catalog.slot_for(TABLE_NEW_ORDER, key)
+            primary = catalog.primary(TABLE_NEW_ORDER, slot)
+            if not cluster.memory_nodes[primary].slot(TABLE_NEW_ORDER, slot).present:
+                continue
+            order_slot = catalog.slot_for(TABLE_ORDERS, key)
+            order_primary = catalog.primary(TABLE_ORDERS, order_slot)
+            assert cluster.memory_nodes[order_primary].slot(
+                TABLE_ORDERS, order_slot
+            ).present
+
+    def test_survives_compute_crash(self):
+        _workload, cluster = _cluster(until=0.05, crash=0.01)
+        assert len(cluster.recovery.records) == 1
+        assert cluster.timeline.rate_between(0.03, 0.05) > 0
+
+    def test_all_profiles_generated(self):
+        workload = TpcC(warehouses=1, customers_per_district=10, items=50)
+        rng = random.Random(7)
+        kinds = set()
+        for _ in range(400):
+            logic = workload.next_transaction(rng)
+            kinds.add(logic.__qualname__.split(".")[1].replace("_txn_", ""))
+        assert kinds == {
+            "new_order",
+            "payment",
+            "order_status",
+            "delivery",
+            "stock_level",
+        }
