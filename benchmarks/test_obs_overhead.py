@@ -1,0 +1,62 @@
+"""Observability overhead guard.
+
+The obs layer promises (a) a run with no obs argument is **identical**
+to the pre-obs code path — the NOOP_OBS singleton's no-op hooks must
+not change any outcome — and (b) enabling full tracing+metrics costs a
+bounded wall-clock factor and never changes simulated results. This
+file enforces both and records the measured factor in
+``benchmarks/results/obs_overhead.txt``.
+"""
+
+import time
+
+from conftest import STEADY_WARMUP, smallbank_factory
+from repro.bench.harness import run_steady_state
+from repro.bench.report import format_table, write_report
+from repro.obs import Obs
+
+DURATION = 12e-3
+FACTORY = smallbank_factory()
+
+# Enabled tracing does real work (one histogram sample + span per
+# phase, counters per verb); allow a generous factor before flagging a
+# hot-path regression. Measured ~1.5-1.9x.
+MAX_ENABLED_OVERHEAD = 2.5
+
+
+def _timed_run(obs):
+    started = time.perf_counter()
+    result = run_steady_state(
+        FACTORY, "pandora", duration=DURATION, warmup=STEADY_WARMUP, obs=obs
+    )
+    return result, time.perf_counter() - started
+
+
+def test_obs_overhead():
+    baseline, baseline_wall = _timed_run(None)
+    disabled, disabled_wall = _timed_run(None)  # second run: warm caches
+    traced, traced_wall = _timed_run(Obs(trace=True))
+
+    # (a) Simulated outcomes are identical in every configuration.
+    assert disabled == baseline
+    assert traced == baseline
+
+    ratio = traced_wall / disabled_wall
+    rows = [
+        ("no obs (baseline)", f"{baseline_wall:.3f}", "-"),
+        ("no obs (warm)", f"{disabled_wall:.3f}", "1.00"),
+        ("Obs(trace=True)", f"{traced_wall:.3f}", f"{ratio:.2f}"),
+    ]
+    write_report(
+        "obs_overhead",
+        format_table(
+            f"observability overhead (smallbank, {baseline.commits} commits)",
+            ["configuration", "wall (s)", "vs disabled"],
+            rows,
+        ),
+    )
+
+    # (b) Enabled tracing stays within a bounded wall-clock factor.
+    assert ratio < MAX_ENABLED_OVERHEAD, (
+        f"tracing overhead {ratio:.2f}x exceeds {MAX_ENABLED_OVERHEAD}x"
+    )

@@ -10,7 +10,6 @@ import pytest
 
 from repro.bench.report import format_table, write_report
 from repro.litmus import LITMUS_SUITE, LitmusRunner
-from repro.litmus.runner import LitmusReport
 from repro.litmus.scenarios import (
     run_complicit_abort_scenario,
     run_log_without_lock_scenario,

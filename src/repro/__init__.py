@@ -12,11 +12,14 @@ Public API tour:
 * :mod:`repro.litmus` — the end-to-end litmus-testing framework.
 * :mod:`repro.workloads` — TPC-C, TATP, SmallBank, microbenchmark.
 * :mod:`repro.bench` — harness regenerating every table and figure.
+* :class:`repro.obs.Obs` — opt-in tracing + metrics (pass to
+  ``Cluster(..., obs=Obs())``; export via ``obs.tracer``).
 """
 
 from repro.cluster import Cluster, ClusterConfig
+from repro.obs import Obs
 from repro.protocol import BugFlags
 
 __version__ = "1.0.0"
 
-__all__ = ["BugFlags", "Cluster", "ClusterConfig", "__version__"]
+__all__ = ["BugFlags", "Cluster", "ClusterConfig", "Obs", "__version__"]

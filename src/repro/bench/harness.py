@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.cluster.builder import Cluster
 from repro.cluster.config import ClusterConfig
@@ -109,14 +109,17 @@ def run_steady_state(
     duration: float = 40e-3,
     warmup: float = 5e-3,
     config: Optional[ClusterConfig] = None,
+    obs=None,
     **config_overrides,
 ) -> SteadyStateResult:
     """Failure-free throughput over *duration* of simulated time."""
     cfg = config or default_config(protocol=protocol, **config_overrides)
     workload = workload_factory()
-    cluster = Cluster(cfg, workload)
+    cluster = Cluster(cfg, workload, obs=obs)
     cluster.start()
     cluster.run(until=warmup + duration)
+    if obs is not None:
+        obs.sample_kernel(cluster.sim)
     stats = cluster.aggregate_stats()
     throughput = cluster.timeline.rate_between(warmup, warmup + duration)
     attempts = stats.commits + stats.aborts
@@ -143,6 +146,7 @@ def run_failover(
     reuse_resources: bool = False,
     restart_after: float = 10e-3,
     config: Optional[ClusterConfig] = None,
+    obs=None,
     **config_overrides,
 ) -> FailoverResult:
     """Crash one node mid-run and record the throughput timeline.
@@ -160,13 +164,15 @@ def run_failover(
         # Keep f live replicas after the crash.
         cfg.memory_nodes = 3
     workload = workload_factory()
-    cluster = Cluster(cfg, workload)
+    cluster = Cluster(cfg, workload, obs=obs)
     cluster.start()
     if crash_kind == "compute":
         cluster.crash_compute(0, at=crash_at)
     else:
         cluster.crash_memory(0, at=crash_at)
     cluster.run(until=duration)
+    if obs is not None:
+        obs.sample_kernel(cluster.sim)
 
     window = cfg.throughput_window
     pre = cluster.timeline.rate_between(5e-3, crash_at - window)
@@ -191,6 +197,7 @@ def run_recovery_latency(
     protocol: str = "pandora",
     crash_at: float = 15e-3,
     config: Optional[ClusterConfig] = None,
+    obs=None,
     **config_overrides,
 ) -> RecoveryLatencyResult:
     """Table 2: log-recovery latency vs outstanding coordinators."""
@@ -200,12 +207,14 @@ def run_recovery_latency(
         **config_overrides,
     )
     workload = workload_factory()
-    cluster = Cluster(cfg, workload)
+    cluster = Cluster(cfg, workload, obs=obs)
     cluster.start()
     cluster.crash_compute(0, at=crash_at)
     # Give detection + recovery ample time; scan recovery needs more.
     horizon = crash_at + (0.4 if protocol in ("baseline", "ford") else 30e-3)
     cluster.run(until=horizon)
+    if obs is not None:
+        obs.sample_kernel(cluster.sim)
     records = [r for r in cluster.recovery.records if r.kind == "compute"]
     if not records:
         raise RuntimeError("recovery never ran — horizon too short?")

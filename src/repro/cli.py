@@ -31,6 +31,50 @@ __all__ = ["main", "build_parser"]
 PROTOCOLS = ("pandora", "baseline", "ford", "tradlog")
 
 
+def _add_obs_flags(parser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON of the run to PATH "
+             "(open in chrome://tracing or ui.perfetto.dev); "
+             "PATH ending in .jsonl writes one event per line instead",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the observability report (per-verb counts, "
+             "per-phase latency histograms, recovery metrics)",
+    )
+
+
+def _build_obs(args):
+    """An Obs facade when ``--trace``/``--metrics`` ask for one, else None."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", False)):
+        return None
+    from repro.obs import Obs
+
+    if args.trace:
+        # Open now so a bad path fails before the run, not after it.
+        try:
+            args._trace_handle = open(args.trace, "w")
+        except OSError as error:
+            raise SystemExit(f"cannot write trace to {args.trace!r}: {error}")
+    return Obs(trace=bool(args.trace))
+
+
+def _finish_obs(obs, args, commits=None) -> None:
+    if obs is None:
+        return
+    if args.trace:
+        with args._trace_handle as handle:
+            if args.trace.endswith(".jsonl"):
+                obs.tracer.export_jsonl(handle)
+            else:
+                obs.tracer.export_chrome(handle)
+        print(f"trace: {len(obs.tracer)} events -> {args.trace}")
+    if args.metrics:
+        print()
+        print(obs.report(commits if commits is not None else obs.commit_count()))
+
+
 def _workload_factory(name: str, write_ratio: float) -> Callable:
     factories: Dict[str, Callable] = {
         "micro": lambda: MicroBenchmark(num_keys=10_000, write_ratio=write_ratio),
@@ -66,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     steady.add_argument("--protocol", default="pandora", choices=PROTOCOLS)
     steady.add_argument("--write-ratio", type=float, default=1.0)
     steady.add_argument("--duration-ms", type=float, default=20.0)
+    _add_obs_flags(steady)
 
     failover = sub.add_parser("failover", help="crash a node mid-run")
     failover.add_argument("--workload", default="micro")
@@ -74,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--write-ratio", type=float, default=1.0)
     failover.add_argument("--reuse", action="store_true",
                           help="restart the failed compute node (reuse resources)")
+    _add_obs_flags(failover)
 
     latency = sub.add_parser(
         "recovery-latency", help="Table 2: recovery latency sweep"
@@ -84,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--coordinators", type=int, nargs="+", default=[1, 8, 32, 64]
     )
     latency.add_argument("--write-ratio", type=float, default=1.0)
+    _add_obs_flags(latency)
     return parser
 
 
@@ -136,20 +183,24 @@ def _cmd_litmus(args) -> int:
 
 def _cmd_steady(args) -> int:
     factory = _workload_factory(args.workload, args.write_ratio)
+    obs = _build_obs(args)
     result = run_steady_state(
-        factory, args.protocol, duration=args.duration_ms * 1e-3
+        factory, args.protocol, duration=args.duration_ms * 1e-3, obs=obs
     )
     print(result.row())
+    _finish_obs(obs, args, commits=result.commits)
     return 0
 
 
 def _cmd_failover(args) -> int:
     factory = _workload_factory(args.workload, args.write_ratio)
+    obs = _build_obs(args)
     result = run_failover(
         factory,
         args.protocol,
         crash_kind=args.crash,
         reuse_resources=args.reuse,
+        obs=obs,
     )
     print(
         format_series(
@@ -164,11 +215,13 @@ def _cmd_failover(args) -> int:
         f"during={result.during_rate / 1e6:.3f}  "
         f"post={result.post_rate / 1e6:.3f}"
     )
+    _finish_obs(obs, args)
     return 0
 
 
 def _cmd_recovery_latency(args) -> int:
     factory = _workload_factory(args.workload, args.write_ratio)
+    obs = _build_obs(args)
     rows = []
     for coordinators in args.coordinators:
         result = run_recovery_latency(
@@ -176,6 +229,7 @@ def _cmd_recovery_latency(args) -> int:
             coordinators_per_node=coordinators,
             protocol=args.protocol,
             crash_at=6e-3,
+            obs=obs,
         )
         rows.append((coordinators, f"{result.latency * 1e6:9.1f}"))
     print(
@@ -185,6 +239,7 @@ def _cmd_recovery_latency(args) -> int:
             rows,
         )
     )
+    _finish_obs(obs, args)
     return 0
 
 

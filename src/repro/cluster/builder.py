@@ -10,7 +10,7 @@ single entry point the examples, tests, and the benchmark harness use.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.node import ComputeNode
@@ -18,6 +18,7 @@ from repro.faults.injector import FaultInjector
 from repro.kvs.catalog import Catalog
 from repro.kvs.placement import Placement
 from repro.memory.node import MemoryNode
+from repro.obs import NOOP_OBS
 from repro.protocol.coordinator import Coordinator, CoordinatorConfig, CoordinatorStats
 from repro.protocol.ford import ford_factory
 from repro.protocol.pandora import pandora_factory
@@ -43,10 +44,13 @@ RECOVERY_SERVER_ID = 10_000
 class Cluster:
     """A fully wired simulated deployment."""
 
-    def __init__(self, config: ClusterConfig, workload) -> None:
+    def __init__(self, config: ClusterConfig, workload, obs=None) -> None:
         config.validate()
         self.config = config
         self.workload = workload
+        # Observability facade shared by every layer; the no-op default
+        # keeps all instrumented hot paths at a single empty call.
+        self.obs = obs if obs is not None else NOOP_OBS
         self.sim = Simulator()
         self.rng = random.Random(config.seed)
         self.network = Network(config.network, random.Random(config.seed + 1))
@@ -91,9 +95,12 @@ class Cluster:
                 check_interval=config.fd_check_interval,
             )
 
+        self.fd.obs = self.obs
+
         # Recovery manager with its own verbs (dedicated server).
         recovery_verbs = Verbs(
-            self.sim, RECOVERY_SERVER_ID, self.network, self.memory_nodes
+            self.sim, RECOVERY_SERVER_ID, self.network, self.memory_nodes,
+            obs=self.obs,
         )
         self.recovery = RecoveryManager(
             self.sim,
@@ -109,6 +116,7 @@ class Cluster:
             scan_chunk_slots=config.scan_chunk_slots,
             restart_hook=self.restart_compute,
             restart_after=config.restart_failed_after,
+            obs=self.obs,
         )
         self.fd.recovery_manager = self.recovery
         self.recycler = IdRecycler(
@@ -125,7 +133,9 @@ class Cluster:
         # Compute servers + coordinators.
         self.compute_nodes: Dict[int, ComputeNode] = {}
         for node_id in range(config.compute_nodes):
-            verbs = Verbs(self.sim, node_id, self.network, self.memory_nodes)
+            verbs = Verbs(
+                self.sim, node_id, self.network, self.memory_nodes, obs=self.obs
+            )
             node = ComputeNode(
                 self.sim, node_id, verbs, self.catalog, faults=self.injector
             )

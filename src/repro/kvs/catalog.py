@@ -12,7 +12,7 @@ the simulation analogue of a warmed address cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Tuple
 
 from repro.kvs.placement import Placement
 

@@ -16,7 +16,7 @@ compute servers apply after a memory failure.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 __all__ = ["ConsistentHashRing", "Placement"]
 

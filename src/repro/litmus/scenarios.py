@@ -13,7 +13,6 @@ bug replays (§5.1).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 

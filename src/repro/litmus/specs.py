@@ -18,7 +18,7 @@ The assertions are exactly the paper's:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List
 
 __all__ = [
     "ABSENT",

@@ -1,0 +1,190 @@
+"""Structured span/instant tracing against virtual time.
+
+The tracer is a passive event recorder: instrumented code reports
+``(category, name, start, end)`` spans and point-in-time instants with
+explicit simulation timestamps, and the tracer appends one tuple per
+event. Nothing is scheduled on the simulation kernel, so recording a
+trace cannot perturb a seeded run — the on/off parity test relies on
+this.
+
+Two export formats:
+
+* **JSONL** — one JSON object per line, easy to grep/stream.
+* **Chrome ``trace_event``** — the ``{"traceEvents": [...]}`` JSON that
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ open
+  directly. Spans become complete (``"ph": "X"``) events; instants
+  become ``"ph": "i"`` events. Virtual-time seconds are exported as
+  microseconds (the unit both UIs assume), node ids map to ``pid`` and
+  coordinator/actor ids to ``tid``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "TraceEvent"]
+
+# (phase, category, name, ts, dur, pid, tid, args)
+TraceEvent = Tuple[str, str, str, float, float, int, int, Optional[Dict[str, Any]]]
+
+_SPAN = "X"
+_INSTANT = "i"
+
+
+class Tracer:
+    """Appends structured span/instant tuples; exports Chrome traces."""
+
+    enabled = True
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def span(
+        self,
+        category: str,
+        name: str,
+        start: float,
+        end: float,
+        pid: int = 0,
+        tid: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a completed span over virtual time [start, end]."""
+        self.events.append((_SPAN, category, name, start, end - start, pid, tid, args))
+
+    def instant(
+        self,
+        category: str,
+        name: str,
+        ts: float,
+        pid: int = 0,
+        tid: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a point-in-time event at virtual time *ts*."""
+        self.events.append((_INSTANT, category, name, ts, 0.0, pid, tid, args))
+
+    # -- queries (used by tests and reports) ---------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def spans(self, category: Optional[str] = None) -> List[TraceEvent]:
+        """All span events, optionally filtered by category."""
+        return [
+            event
+            for event in self.events
+            if event[0] == _SPAN and (category is None or event[1] == category)
+        ]
+
+    def instants(self, category: Optional[str] = None) -> List[TraceEvent]:
+        """All instant events, optionally filtered by category."""
+        return [
+            event
+            for event in self.events
+            if event[0] == _INSTANT and (category is None or event[1] == category)
+        ]
+
+    # -- export ----------------------------------------------------------------
+
+    @staticmethod
+    def _chrome_event(event: TraceEvent) -> Dict[str, Any]:
+        phase, category, name, ts, dur, pid, tid, args = event
+        out: Dict[str, Any] = {
+            "ph": phase,
+            "cat": category,
+            "name": name,
+            # Chrome trace timestamps are microseconds.
+            "ts": ts * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        if phase == _SPAN:
+            out["dur"] = dur * 1e6
+        else:
+            out["s"] = "t"  # instant scope: thread
+        if args:
+            out["args"] = args
+        return out
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The Chrome trace_event JSON object (not yet serialized)."""
+        return {
+            "traceEvents": [self._chrome_event(event) for event in self.events],
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "virtual-seconds-as-us"},
+        }
+
+    def export_chrome(self, path_or_file: Union[str, IO[str]]) -> None:
+        """Write the Chrome trace_event JSON to *path_or_file*."""
+        payload = self.to_chrome()
+        if hasattr(path_or_file, "write"):
+            json.dump(payload, path_or_file)
+        else:
+            with open(path_or_file, "w") as handle:
+                json.dump(payload, handle)
+
+    def export_jsonl(self, path_or_file: Union[str, IO[str]]) -> None:
+        """Write one JSON object per event to *path_or_file*."""
+
+        def dump(handle: IO[str]) -> None:
+            for event in self.events:
+                phase, category, name, ts, dur, pid, tid, args = event
+                record: Dict[str, Any] = {
+                    "ph": phase,
+                    "cat": category,
+                    "name": name,
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                }
+                if phase == _SPAN:
+                    record["dur"] = dur
+                if args:
+                    record["args"] = args
+                handle.write(json.dumps(record))
+                handle.write("\n")
+
+        if hasattr(path_or_file, "write"):
+            dump(path_or_file)
+        else:
+            with open(path_or_file, "w") as handle:
+                dump(handle)
+
+
+class NullTracer:
+    """The disabled tracer: every recording call is a no-op.
+
+    Instrumented code holds a tracer reference and calls it
+    unconditionally; swapping in this object (rather than guarding each
+    call site with an ``if``) is what keeps the disabled path at one
+    no-op method call per event.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+    events: List[TraceEvent] = []
+
+    def span(self, category, name, start, end, pid=0, tid=0, args=None) -> None:
+        pass
+
+    def instant(self, category, name, ts, pid=0, tid=0, args=None) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def spans(self, category=None) -> List[TraceEvent]:
+        return []
+
+    def instants(self, category=None) -> List[TraceEvent]:
+        return []
+
+
+NULL_TRACER = NullTracer()

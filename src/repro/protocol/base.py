@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Hashable, List, Optional, Tuple
 
 from repro.memory.node import LogRecord
+from repro.obs import NULL_TXN_TRACE
 from repro.protocol.locks import (
     ANONYMOUS_OWNER,
     encode_anonymous_lock,
@@ -285,6 +286,7 @@ class ProtocolEngine:
         self.catalog = coordinator.catalog
         self.placement = coordinator.catalog.placement
         self.coord_id = coordinator.coord_id
+        self.obs = coordinator.obs
         self.bugs = bugs if bugs is not None else BugFlags.fixed()
         self._lock_tag = 0
         # The attempt currently in flight (used by interrupt recovery).
@@ -330,6 +332,13 @@ class ProtocolEngine:
         """Execute one attempt of *logic*; returns a TxnOutcome."""
         tx = Txn(self, txn_id)
         self.current_tx = tx
+        trace = self.obs.txn_begin(
+            self.name,
+            self.coordinator.node.node_id,
+            self.coord_id,
+            txn_id,
+            tx.start_time,
+        )
         try:
             generated = logic(tx)
             if hasattr(generated, "__next__"):
@@ -339,6 +348,7 @@ class ProtocolEngine:
             checkpoint = self._cp("execution_done")
             if checkpoint is not None:
                 yield checkpoint
+            trace.phase("execute", self.sim.now)
 
             if self.bugs.relaxed_locks:
                 # BUG (Table 1, "Relaxed Locks"): validation reads are
@@ -346,9 +356,11 @@ class ProtocolEngine:
                 # held, so validation can race ahead of locking.
                 validation_groups = self._post_validation_reads(tx)
                 yield from self._lock_barrier(tx)
+                trace.phase("lock", self.sim.now)
                 self._post_coalesced_log(tx)
             else:
                 yield from self._lock_barrier(tx)
+                trace.phase("lock", self.sim.now)
                 checkpoint = self._cp("locks_held")
                 if checkpoint is not None:
                     yield checkpoint
@@ -361,17 +373,20 @@ class ProtocolEngine:
             yield from self._check_validation(tx, validation_groups)
             if self.late_upgrade_check:
                 self._check_upgrades(tx)
+            trace.phase("validate", self.sim.now)
 
             # Decision point: the write-set must be durably logged
             # before any in-place update (§3.1.5 "(2) ... ensures the
             # write-set is logged").
             if tx.log_acks:
                 yield self.sim.all_of(tx.log_acks)
+            trace.phase("log", self.sim.now)
             checkpoint = self._cp("decision")
             if checkpoint is not None:
                 yield checkpoint
 
-            yield from self._commit(tx)
+            yield from self._commit(tx, trace)
+            trace.end("commit", self.sim.now)
             return TxnOutcome(
                 committed=True,
                 value=tx.result,
@@ -381,6 +396,8 @@ class ProtocolEngine:
             )
         except TxnAbort as abort:
             yield from self._abort(tx, abort.reason)
+            trace.phase("abort", self.sim.now)
+            trace.end(f"abort:{abort.reason}", self.sim.now)
             return TxnOutcome(
                 committed=False,
                 reason=abort.reason,
@@ -391,11 +408,13 @@ class ProtocolEngine:
         except LinkRevokedError:
             # We were fenced by active-link termination (Cor1); the
             # coordinator-level handler decides what to do next.
+            trace.end("fenced", self.sim.now)
             raise
         except RdmaError:
             # A replica went down mid-attempt; apply the compute-side
             # decision rule of §3.2.5.
             outcome = yield from self.recover_interrupted(tx)
+            trace.end("interrupted", self.sim.now)
             return outcome
         finally:
             self.current_tx = None
@@ -733,7 +752,7 @@ class ProtocolEngine:
 
     # -- commit / abort ------------------------------------------------------------------
 
-    def _commit(self, tx: Txn) -> Generator[Event, Any, None]:
+    def _commit(self, tx: Txn, trace=NULL_TXN_TRACE) -> Generator[Event, Any, None]:
         apply_events: List[Event] = []
         touched: Dict[int, Tuple[int, int]] = {}
         for intent in tx.write_set.values():
@@ -774,6 +793,7 @@ class ProtocolEngine:
         checkpoint = self._cp("applied")
         if checkpoint is not None:
             yield checkpoint
+        trace.phase("commit", self.sim.now)
 
         # Client acknowledgment happens here — after all replicas are
         # updated, before unlocking (§2.3 step 1 vs 2).
@@ -790,6 +810,7 @@ class ProtocolEngine:
         # Lazily invalidate the undo log copies (off the critical path).
         for node, record_id in tx.logged_records:
             self.verbs.invalidate_log(node, self.coord_id, record_id, signaled=False)
+        trace.phase("unlock", self.sim.now)
 
     def _abort(self, tx: Txn, reason: str) -> Generator[Event, Any, None]:
         # Locks may still be in flight (e.g. the abort came from a read

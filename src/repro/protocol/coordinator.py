@@ -14,6 +14,7 @@ import random
 from collections import Counter
 from typing import Any, Callable, Generator, Optional
 
+from repro.obs import NOOP_OBS
 from repro.protocol.types import AbortReason, TxnOutcome
 from repro.rdma.errors import LinkRevokedError, RdmaError
 from repro.sim import Event, Interrupt
@@ -93,6 +94,9 @@ class Coordinator:
         self.config = config or CoordinatorConfig()
         self.faults = node.faults
         self.stats = CoordinatorStats()
+        # Observability facade shared by the whole deployment; the
+        # engine captures it at construction, so set it first.
+        self.obs = getattr(node.verbs, "obs", None) or NOOP_OBS
         self.engine = engine_factory(self)
         self.process = None
         self._txn_seq = 0
@@ -122,6 +126,7 @@ class Coordinator:
     def on_commit_ack(self, tx) -> None:
         """Client notified of commit (after replica updates, §2.3)."""
         self.stats.commits += 1
+        self.obs.on_outcome(self.engine.name, "commit")
         if self._on_commit is not None:
             self._on_commit(self.sim.now)
         if self.history_sink is not None:
@@ -147,6 +152,7 @@ class Coordinator:
     def on_abort(self, tx, reason: str) -> None:
         self.stats.aborts += 1
         self.stats.abort_reasons[reason] += 1
+        self.obs.on_outcome(self.engine.name, f"abort:{reason}")
 
     # -- worker loop ----------------------------------------------------------------
 

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Hashable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
 
 __all__ = [
     "AbortReason",

@@ -14,8 +14,9 @@ memory — this is the mechanism that produces stray locks.
 
 from __future__ import annotations
 
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
+from repro.obs import NOOP_OBS
 from repro.rdma.errors import LinkRevokedError, RemoteNodeDownError
 from repro.rdma.network import Network
 from repro.sim import Event, Simulator
@@ -37,6 +38,7 @@ class QueuePair:
         "_last_request_arrival",
         "_last_response_arrival",
         "posted_verbs",
+        "obs",
     )
 
     def __init__(
@@ -45,6 +47,7 @@ class QueuePair:
         network: Network,
         compute_id: int,
         memory_node: Any,
+        obs: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -53,6 +56,9 @@ class QueuePair:
         self._last_request_arrival = 0.0
         self._last_response_arrival = 0.0
         self.posted_verbs = 0
+        # Observability hooks; the no-op singleton keeps the disabled
+        # path at one attribute lookup + one empty call per verb.
+        self.obs = obs if obs is not None else NOOP_OBS
 
     def post(
         self,
@@ -74,6 +80,14 @@ class QueuePair:
         it). FORD posts its background undo-log writes unsignaled.
         """
         self.posted_verbs += 1
+        posted_at = self.sim.now
+        self.obs.on_verb_post(
+            kind,
+            self.compute_id,
+            self.memory_node.node_id,
+            request_size + VERB_HEADER_BYTES,
+            posted_at,
+        )
         arrival = max(
             self._last_request_arrival,
             self.sim.now + self.network.delay(request_size + VERB_HEADER_BYTES),
@@ -99,7 +113,14 @@ class QueuePair:
 
         def execute() -> None:
             if not memory_node.alive:
-                self._complete(completion, None, RemoteNodeDownError(memory_node.node_id), 0)
+                self._complete(
+                    completion,
+                    None,
+                    RemoteNodeDownError(memory_node.node_id),
+                    0,
+                    kind,
+                    posted_at,
+                )
                 return
             if memory_node.is_revoked(compute_id):
                 self._complete(
@@ -107,10 +128,12 @@ class QueuePair:
                     None,
                     LinkRevokedError(compute_id, memory_node.node_id),
                     0,
+                    kind,
+                    posted_at,
                 )
                 return
             result, response_size = memory_node.apply(compute_id, kind, args)
-            self._complete(completion, result, None, response_size)
+            self._complete(completion, result, None, response_size, kind, posted_at)
 
         self.sim.call_at(arrival, execute)
         return completion
@@ -121,12 +144,21 @@ class QueuePair:
         result: Any,
         error: Exception,
         response_size: int,
+        kind: str = "",
+        posted_at: float = 0.0,
     ) -> None:
         arrival = max(
             self._last_response_arrival,
             self.sim.now + self.network.delay(response_size + VERB_HEADER_BYTES),
         )
         self._last_response_arrival = arrival
+        self.obs.on_verb_complete(
+            kind,
+            self.memory_node.node_id,
+            arrival - posted_at,
+            response_size + VERB_HEADER_BYTES,
+            error is None,
+        )
 
         def deliver() -> None:
             # finish_now runs waiters synchronously — we are already

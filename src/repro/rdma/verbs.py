@@ -14,9 +14,10 @@ memory-side cores (§2.1).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.memory.node import LogRecord, OBJECT_HEADER_BYTES
+from repro.obs import NOOP_OBS
 from repro.rdma.network import Network
 from repro.rdma.qp import QueuePair
 from repro.sim import Event, Simulator
@@ -36,12 +37,14 @@ class Verbs:
         compute_id: int,
         network: Network,
         memory_nodes: Dict[int, Any],
+        obs: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.compute_id = compute_id
         self.network = network
+        self.obs = obs if obs is not None else NOOP_OBS
         self.qps: Dict[int, QueuePair] = {
-            node_id: QueuePair(sim, network, compute_id, node)
+            node_id: QueuePair(sim, network, compute_id, node, obs=self.obs)
             for node_id, node in memory_nodes.items()
         }
 

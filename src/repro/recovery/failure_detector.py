@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
+from repro.obs import NOOP_OBS
 from repro.recovery.idalloc import IdAllocator
 from repro.sim import Event, Simulator
 
@@ -38,6 +39,7 @@ class FailureDetector:
         self.timeout = timeout
         self.check_interval = check_interval
         self.recovery_manager = None  # wired by the cluster builder
+        self.obs = NOOP_OBS  # wired by the cluster builder
         self._last_heartbeat: Dict[Tuple[str, int], float] = {}
         self._registered: Dict[Tuple[str, int], Any] = {}
         self._suspected: Set[Tuple[str, int]] = set()
@@ -106,6 +108,21 @@ class FailureDetector:
         """
         kind, node_id = key
         self.detections.append((self.sim.now, kind, node_id))
+        # The heartbeat-miss window: silence from the last heartbeat
+        # until the detector declared the node failed.
+        self.obs.tracer.span(
+            "recovery",
+            "heartbeat-miss",
+            self._last_heartbeat.get(key, self.sim.now),
+            self.sim.now,
+            pid=node_id,
+            args={"kind": kind},
+        )
+        self.obs.tracer.instant(
+            "recovery", "declare-failed", self.sim.now, pid=node_id,
+            args={"kind": kind},
+        )
+        self.obs.metrics.inc("fd.detections", kind=kind)
         if self.recovery_manager is None:
             return
         if kind == "compute":

@@ -10,7 +10,7 @@ every stray lock held under them. Recycling triggers when more than
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import Iterable, List
 
 from repro.protocol.locks import ANONYMOUS_OWNER, MAX_COORD_ID
 from repro.util.bitset import Bitset

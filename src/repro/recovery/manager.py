@@ -30,9 +30,10 @@ Three recovery modes mirror the paper's three protocols:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
+from repro.obs import NOOP_OBS
 from repro.protocol.locks import is_locked, owner_of
 from repro.rdma.errors import RdmaError
 from repro.sim import Event, Simulator
@@ -96,6 +97,7 @@ class RecoveryManager:
         scan_chunk_slots: int = 512,
         restart_hook=None,
         restart_after: Optional[float] = None,
+        obs=None,
     ) -> None:
         if mode not in ("pill", "locklog", "scan"):
             raise ValueError(f"unknown recovery mode {mode!r}")
@@ -113,6 +115,7 @@ class RecoveryManager:
         self.scan_chunk_slots = scan_chunk_slots
         self.restart_hook = restart_hook
         self.restart_after = restart_after
+        self.obs = obs if obs is not None else NOOP_OBS
         self.records: List[RecoveryRecord] = []
         self._in_progress: Set[Tuple[str, int]] = set()
 
@@ -157,6 +160,8 @@ class RecoveryManager:
         self.records.append(record)
         coord_ids = node.coordinator_ids()
         record.coordinators = len(coord_ids)
+        tracer = self.obs.tracer
+        self.obs.metrics.inc("recovery.compute_recoveries")
 
         # Step 2: active-link termination at every live memory server.
         fence_events = [
@@ -166,12 +171,20 @@ class RecoveryManager:
         if fence_events:
             yield self.sim.all_of(fence_events)
         record.fenced_at = self.sim.now
+        tracer.span(
+            "recovery",
+            "link-revoke",
+            record.detected_at,
+            record.fenced_at,
+            pid=node.node_id,
+            args={"memory_nodes": len(fence_events)},
+        )
 
         # Step 3: log recovery.
         if self.mode == "scan":
             yield from self._scan_recovery(node, coord_ids, record)
         else:
-            yield from self._log_recovery(coord_ids, record)
+            yield from self._log_recovery(coord_ids, record, pid=node.node_id)
         record.log_recovered_at = self.sim.now
 
         # Step 4: stray-lock notification, strictly after truncation
@@ -186,6 +199,22 @@ class RecoveryManager:
             )
         record.notified_at = self.sim.now
         record.finished_at = self.sim.now
+        tracer.span(
+            "recovery",
+            "stray-lock-notify",
+            record.log_recovered_at,
+            record.notified_at,
+            pid=node.node_id,
+            args={"failed_ids": len(coord_ids)},
+        )
+        metrics = self.obs.metrics
+        metrics.inc("recovery.rolled_forward", record.rolled_forward)
+        metrics.inc("recovery.rolled_back", record.rolled_back)
+        metrics.inc("recovery.locks_released", record.locks_released)
+        metrics.observe(
+            "recovery.log_recovery_latency", record.log_recovery_latency
+        )
+        metrics.observe("recovery.total_latency", record.total_latency)
         self._in_progress.discard(("compute", node.node_id))
 
         if self.restart_hook is not None and self.restart_after is not None:
@@ -211,15 +240,17 @@ class RecoveryManager:
         ]
 
     def _log_recovery(
-        self, coord_ids: Iterable[int], record: RecoveryRecord
+        self, coord_ids: Iterable[int], record: RecoveryRecord, pid: int = 0
     ) -> Generator[Event, Any, None]:
         """Steps: read log regions, decide per txn, repair, truncate."""
         for coord_id in coord_ids:
-            yield from self._recover_coordinator_logs(coord_id, record)
+            yield from self._recover_coordinator_logs(coord_id, record, pid=pid)
 
     def _recover_coordinator_logs(
-        self, coord_id: int, record: RecoveryRecord
+        self, coord_id: int, record: RecoveryRecord, pid: int = 0
     ) -> Generator[Event, Any, None]:
+        tracer = self.obs.tracer
+        read_started = self.sim.now
         source_nodes = self._log_source_nodes(coord_id)
         read_events = [
             (node_id, self.verbs.read_log_region(node_id, coord_id))
@@ -243,14 +274,34 @@ class RecoveryManager:
             entries = txns.setdefault(log_record.txn_id, {})
             for entry in log_record.entries:
                 entries[(entry[_E_TABLE], entry[_E_SLOT])] = entry
+        tracer.span(
+            "recovery",
+            "log-region-read",
+            read_started,
+            self.sim.now,
+            pid=pid,
+            tid=coord_id,
+            args={"records": len(all_records), "logged_txns": len(txns)},
+        )
 
         record.logged_txns += len(txns)
         for txn_id in sorted(txns):
-            yield from self._repair_logged_txn(coord_id, txns[txn_id], record)
+            yield from self._repair_logged_txn(coord_id, txns[txn_id], record, pid=pid)
 
         if self.mode == "locklog" and lock_intents:
+            release_started = self.sim.now
             yield from self._release_logged_locks(lock_intents, record)
+            tracer.span(
+                "recovery",
+                "stray-lock-release",
+                release_started,
+                self.sim.now,
+                pid=pid,
+                tid=coord_id,
+                args={"lock_intents": len(lock_intents)},
+            )
 
+        truncate_started = self.sim.now
         truncate_events = [
             self.verbs.truncate_log_region(node_id, coord_id)
             for node_id in source_nodes
@@ -261,14 +312,25 @@ class RecoveryManager:
                 yield event
             except RdmaError:
                 continue
+        tracer.span(
+            "recovery",
+            "truncate",
+            truncate_started,
+            self.sim.now,
+            pid=pid,
+            tid=coord_id,
+            args={"regions": len(truncate_events)},
+        )
 
     def _repair_logged_txn(
         self,
         coord_id: int,
         entries: Dict[Tuple[int, int], Tuple],
         record: RecoveryRecord,
+        pid: int = 0,
     ) -> Generator[Event, Any, None]:
         """Decide roll-forward vs roll-back for one Logged-Stray-Tx."""
+        repair_started = self.sim.now
         # Read the headers of every replica of every written object,
         # batched per memory node.
         per_node: Dict[int, List[Tuple[Tuple[int, int], Tuple[int, int]]]] = {}
@@ -340,12 +402,30 @@ class RecoveryManager:
                     yield event
                 except RdmaError:
                     continue
+        self.obs.tracer.span(
+            "recovery",
+            "roll-forward" if updated_all else "roll-back",
+            repair_started,
+            self.sim.now,
+            pid=pid,
+            tid=coord_id,
+            args={"writes": len(entries)},
+        )
 
         # Release the primary locks this txn still holds. With PILL we
         # release by owner-conditioned CAS; anonymous locks (scan and
         # locklog modes) are handled by the scan / lock-intent replay.
         if self.mode == "pill":
+            release_started = self.sim.now
             yield from self._release_owned_locks(coord_id, entries, headers, record)
+            self.obs.tracer.span(
+                "recovery",
+                "stray-lock-release",
+                release_started,
+                self.sim.now,
+                pid=pid,
+                tid=coord_id,
+            )
 
     def _release_owned_locks(
         self, coord_id, entries, headers, record
@@ -410,14 +490,19 @@ class RecoveryManager:
         single recovery thread — the source of the ~5 s/million-keys
         latency the paper measures.
         """
+        drain_started = self.sim.now
         for compute in self._alive_compute_nodes(excluding=node.node_id):
             delay = self.network.delay(128)
             self.sim.call_at(self.sim.now + delay, compute.pause)
         yield self.sim.timeout(self.drain_delay)
+        self.obs.tracer.span(
+            "recovery", "drain", drain_started, self.sim.now, pid=node.node_id
+        )
 
         # FORD's undo logs still allow rolling logged txns back/forward.
-        yield from self._log_recovery(coord_ids, record)
+        yield from self._log_recovery(coord_ids, record, pid=node.node_id)
 
+        scan_started = self.sim.now
         per_slot_rtt = 2 * self.network.config.one_way_latency + 4e-7
         for mem_id in self._alive_memory_ids():
             memory = self.memory_nodes[mem_id]
@@ -446,6 +531,14 @@ class RecoveryManager:
                         except RdmaError:
                             continue
 
+        self.obs.tracer.span(
+            "recovery",
+            "scan",
+            scan_started,
+            self.sim.now,
+            pid=node.node_id,
+            args={"scanned_slots": record.scanned_slots},
+        )
         for compute in self._alive_compute_nodes(excluding=node.node_id):
             delay = self.network.delay(128)
             self.sim.call_at(self.sim.now + delay, compute.resume)
@@ -517,6 +610,14 @@ class RecoveryManager:
                 self.sim.call_at(self.sim.now + delay, compute.resume)
         record.notified_at = self.sim.now
         record.finished_at = self.sim.now
+        self.obs.tracer.span(
+            "recovery",
+            "re-replicate",
+            record.detected_at,
+            record.finished_at,
+            pid=node.node_id,
+            args={"bytes_copied": copied_bytes},
+        )
         # Allow this node to be detected again if it fails later.
         self._in_progress.discard(("memory", node.node_id))
 
@@ -548,4 +649,12 @@ class RecoveryManager:
                 self.sim.call_at(self.sim.now + delay, compute.end_memory_reconfig)
         record.notified_at = self.sim.now
         record.finished_at = self.sim.now
+        self.obs.tracer.span(
+            "recovery",
+            "memory-reconfig",
+            record.detected_at,
+            record.finished_at,
+            pid=node.node_id,
+        )
+        self.obs.metrics.inc("recovery.memory_reconfigs")
         self._in_progress.discard(("memory", node.node_id))

@@ -21,7 +21,7 @@ transaction processing: nothing is paused.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Set
+from typing import Any, Dict, Generator, Set
 
 from repro.protocol.locks import is_locked, owner_of
 from repro.rdma.errors import RdmaError

@@ -298,7 +298,16 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires as soon as any child fires; value is (index, child value)."""
 
-    __slots__ = ()
+    __slots__ = ("_index_of",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, events)
+        # id -> first index, precomputed so _on_child is O(1) per fire
+        # (events.index() was O(n) and returned the wrong slot when the
+        # same event object appeared more than once).
+        self._index_of = {}
+        for index, event in enumerate(self.events):
+            self._index_of.setdefault(id(event), index)
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:
@@ -306,7 +315,7 @@ class AnyOf(_Condition):
         if event._exception is not None:
             self.fail(event._exception)
             return
-        self.succeed((self.events.index(event), event._value))
+        self.succeed((self._index_of[id(event)], event._value))
 
 
 class Simulator:
@@ -407,3 +416,8 @@ class Simulator:
     def processed_events(self) -> int:
         """Total kernel steps executed."""
         return self._processed_events
+
+    @property
+    def queue_depth(self) -> int:
+        """Entries currently pending in the scheduling queue."""
+        return len(self._queue)

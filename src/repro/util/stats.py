@@ -9,7 +9,6 @@ million-transaction runs stay cheap.
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
 from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["OnlineStats", "Histogram", "ThroughputTimeline"]
@@ -177,9 +176,9 @@ class ThroughputTimeline:
 
     def record(self, timestamp: float, count: int = 1) -> None:
         """Count *count* committed operations at *timestamp*."""
-        self._windows[int(timestamp / self.window)] = (
-            self._windows.get(int(timestamp / self.window), 0) + count
-        )
+        index = int(timestamp / self.window)
+        windows = self._windows
+        windows[index] = windows.get(index, 0) + count
 
     @property
     def total(self) -> int:
@@ -192,6 +191,9 @@ class ThroughputTimeline:
             return []
         first = int(start / self.window)
         last = max(self._windows) if end is None else int(end / self.window)
+        if last < first:
+            # *start* lies past the last recorded window: nothing to plot.
+            return []
         return [
             (index * self.window, self._windows.get(index, 0) / self.window)
             for index in range(first, last + 1)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Cluster, ClusterConfig
+from repro import Cluster
 from repro.cluster.config import ClusterConfig as Config
 from repro.workloads import MicroBenchmark
 

@@ -1,6 +1,5 @@
 """Unit tests for ComputeNode lifecycle and pause semantics."""
 
-import pytest
 
 from repro.cluster.node import ComputeNode
 from repro.sim import Simulator

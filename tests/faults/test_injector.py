@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro import Cluster, ClusterConfig
-from repro.faults.injector import CrashPlan, FaultInjector
+from repro.faults.injector import FaultInjector
 from repro.faults.mttf import MttfProcess
 from repro.sim import Simulator
 from repro.workloads import MicroBenchmark

@@ -5,10 +5,9 @@ benchmarks stable; any accidental use of global randomness or
 dict-order dependence would break it.
 """
 
-import pytest
 
 from repro import Cluster, ClusterConfig
-from repro.workloads import MicroBenchmark, SmallBank
+from repro.workloads import MicroBenchmark
 
 
 def run_once(seed, crash=False, protocol="pandora"):

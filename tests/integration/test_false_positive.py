@@ -7,7 +7,6 @@ that nothing it sends afterwards lands, and the store stays
 consistent.
 """
 
-import pytest
 
 from repro import Cluster, ClusterConfig
 from repro.workloads import SmallBank

@@ -81,7 +81,6 @@ class TestCheckerOnLiveHistory:
     def _run_workload(self, protocol, keys=8, txns=60):
         import random
 
-        from repro.sim import Simulator
         from tests.protocol.conftest import ProtocolRig
 
         rig = ProtocolRig(protocol=protocol, compute_nodes=2, keys=keys)

@@ -6,7 +6,6 @@ must corrupt state with the bug enabled and stay consistent with the
 fix (and with Pandora).
 """
 
-import pytest
 
 from repro.litmus.scenarios import (
     run_complicit_abort_scenario,

@@ -1,0 +1,129 @@
+"""Unit tests for the labeled metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+    render_rows,
+)
+
+
+class TestLabeledInstances:
+    def test_counter_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        first = registry.counter("rdma.verbs", verb="read", node=0)
+        second = registry.counter("rdma.verbs", node=0, verb="read")
+        assert first is second  # label order must not matter
+        first.inc()
+        first.inc(3)
+        assert second.value == 4
+
+    def test_distinct_labels_distinct_instances(self):
+        registry = MetricsRegistry()
+        read = registry.counter("rdma.verbs", verb="read")
+        write = registry.counter("rdma.verbs", verb="write")
+        assert read is not write
+        read.inc()
+        assert write.value == 0
+
+    def test_gauge_set_overwrites(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("kernel.now")
+        gauge.set(1.0)
+        gauge.set(2.5)
+        assert registry.gauge("kernel.now").value == 2.5
+
+    def test_histogram_records_and_reports(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", min_value=1e-6, max_value=1.0)
+        for value in (1e-5, 2e-5, 3e-5):
+            histogram.add(value)
+        assert histogram.count == 3
+        assert histogram.percentile(50) == pytest.approx(2e-5, rel=0.2)
+
+    def test_one_shot_helpers(self):
+        registry = MetricsRegistry()
+        registry.inc("recovery.rolled_forward", 4)
+        registry.observe("recovery.latency", 1e-4)
+        assert registry.counter("recovery.rolled_forward").value == 4
+        assert registry.histogram("recovery.latency").count == 1
+
+
+class TestMergeAndSnapshot:
+    def test_merge_adds_counters_and_merges_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("txn.outcome", 5, outcome="commit")
+        b.inc("txn.outcome", 7, outcome="commit")
+        b.inc("txn.outcome", 2, outcome="abort")
+        a.observe("lat", 1e-3)
+        b.observe("lat", 3e-3)
+        b.gauge("kernel.now").set(9.0)
+        a.merge(b)
+        assert a.counter("txn.outcome", outcome="commit").value == 12
+        assert a.counter("txn.outcome", outcome="abort").value == 2
+        assert a.histogram("lat").count == 2
+        assert a.gauge("kernel.now").value == 9.0
+
+    def test_merge_into_empty_registry(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.inc("c", 3, node=1)
+        a.merge(b)
+        assert a.counter("c", node=1).value == 3
+        # The merge copies values, not instances.
+        b.counter("c", node=1).inc()
+        assert a.counter("c", node=1).value == 3
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.inc("rdma.verbs", 2, verb="read", node=0)
+        registry.gauge("kernel.now").set(1.5)
+        registry.observe("lat", 2e-4)
+        snapshot = registry.snapshot()
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped["counters"]["rdma.verbs{node=0,verb=read}"] == 2
+        assert round_tripped["gauges"]["kernel.now"] == 1.5
+        assert round_tripped["histograms"]["lat"]["count"] == 1
+
+    def test_select_filters_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.inc("recovery.rolled_forward")
+        registry.inc("fd.detections")
+        registry.observe("recovery.latency", 1e-4)
+        names = [key[0] for key, _ in registry.select("recovery.")]
+        assert names == ["recovery.latency", "recovery.rolled_forward"]
+
+
+class TestRendering:
+    def test_render_table_lists_every_metric(self):
+        registry = MetricsRegistry()
+        registry.inc("rdma.verbs", 3, verb="read")
+        registry.gauge("kernel.now").set(0.01)
+        registry.observe("lat", 1e-4)
+        table = registry.render_table("run metrics")
+        assert "run metrics" in table
+        assert "rdma.verbs{verb=read}" in table
+        assert "kernel.now" in table
+        assert "n=1" in table
+
+    def test_render_rows_alignment(self):
+        table = render_rows(["a", "bb"], [["x", 1], ["longer", 22]], title="t")
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert all(len(line) == len(lines[2]) for line in lines[2:4])
+
+
+class TestNullMetrics:
+    def test_null_instances_swallow_everything(self):
+        NULL_COUNTER.inc()
+        NULL_COUNTER.inc(100)
+        NULL_GAUGE.set(5.0)
+        NULL_HISTOGRAM.add(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+        assert NULL_HISTOGRAM.percentile(99) == 0.0

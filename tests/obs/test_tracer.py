@@ -1,0 +1,86 @@
+"""Unit tests for the tracer and its Chrome trace_event export."""
+
+import io
+import json
+
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class TestRecording:
+    def test_span_stores_duration(self):
+        tracer = Tracer()
+        tracer.span("txn", "lock", 1.0, 1.5, pid=2, tid=7)
+        ((phase, category, name, ts, dur, pid, tid, args),) = tracer.events
+        assert (phase, category, name) == ("X", "txn", "lock")
+        assert (ts, dur, pid, tid, args) == (1.0, 0.5, 2, 7, None)
+
+    def test_instant_has_zero_duration(self):
+        tracer = Tracer()
+        tracer.instant("recovery", "declare-failed", 0.02, pid=1)
+        assert tracer.instants() == [("i", "recovery", "declare-failed", 0.02, 0.0, 1, 0, None)]
+
+    def test_category_filters(self):
+        tracer = Tracer()
+        tracer.span("txn", "execute", 0.0, 1.0)
+        tracer.span("recovery", "truncate", 1.0, 2.0)
+        tracer.instant("rdma", "read", 0.5)
+        assert len(tracer) == 3
+        assert [event[2] for event in tracer.spans("recovery")] == ["truncate"]
+        assert tracer.instants("txn") == []
+
+
+class TestChromeExport:
+    def _trace(self):
+        tracer = Tracer()
+        tracer.span("txn", "lock", 1e-3, 2e-3, pid=0, tid=3, args={"txn_id": 9})
+        tracer.instant("recovery", "declare-failed", 5e-3, pid=1)
+        return tracer
+
+    def test_chrome_schema(self):
+        doc = self._trace().to_chrome()
+        # Round-trip through JSON: the export must be serializable.
+        doc = json.loads(json.dumps(doc))
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        span, instant = events
+        # Complete event: ph=X with ts/dur in microseconds.
+        assert span["ph"] == "X"
+        assert span["ts"] == 1e-3 * 1e6
+        assert span["dur"] == 1e-3 * 1e6
+        assert span["pid"] == 0 and span["tid"] == 3
+        assert span["args"] == {"txn_id": 9}
+        # Instant event: ph=i with a scope, no dur.
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+
+    def test_export_chrome_to_file_object(self):
+        buffer = io.StringIO()
+        self._trace().export_chrome(buffer)
+        doc = json.loads(buffer.getvalue())
+        assert {"ph", "cat", "name", "ts", "pid", "tid"} <= set(doc["traceEvents"][0])
+
+    def test_export_chrome_to_path(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._trace().export_chrome(str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 2
+
+    def test_export_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._trace().export_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["dur"] == 1e-3  # JSONL keeps virtual seconds
+        assert "dur" not in records[1]
+
+
+class TestNullTracer:
+    def test_null_tracer_records_nothing(self):
+        NULL_TRACER.span("txn", "lock", 0.0, 1.0)
+        NULL_TRACER.instant("txn", "x", 0.0)
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.instants() == []
+        assert not NULL_TRACER.enabled

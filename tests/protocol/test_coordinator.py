@@ -1,6 +1,5 @@
 """Tests for the coordinator worker loop: retries, stats, policies."""
 
-import pytest
 
 from repro.protocol.coordinator import CoordinatorConfig, CoordinatorStats
 from repro.protocol.types import AbortReason

@@ -1,9 +1,7 @@
 """Edge cases of the engine: interrupts, error paths, optimizations."""
 
-import pytest
 
 from repro.protocol.types import AbortReason
-from repro.sim import Interrupt
 
 
 class TestValidationOptimization:

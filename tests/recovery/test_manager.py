@@ -1,6 +1,5 @@
 """Tests for the recovery manager: the four-step protocol of §3.2.2."""
 
-import pytest
 
 from repro import Cluster, ClusterConfig
 from repro.memory.node import LogRecord

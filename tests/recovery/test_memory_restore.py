@@ -1,6 +1,5 @@
 """Re-replication of a restored memory server (§3.2.5)."""
 
-import pytest
 
 from repro import Cluster, ClusterConfig
 from repro.workloads import SmallBank

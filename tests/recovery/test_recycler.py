@@ -1,6 +1,5 @@
 """Tests for coordinator-id recycling (§3.1.2)."""
 
-import pytest
 
 from repro import Cluster, ClusterConfig
 from repro.protocol.locks import encode_lock, is_locked

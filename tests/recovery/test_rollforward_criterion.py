@@ -9,7 +9,6 @@ commit-ack have reached the client).
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,9 +3,6 @@
 import pytest
 
 from repro.sim import (
-    AllOf,
-    AnyOf,
-    Event,
     Interrupt,
     ProcessKilled,
     Simulator,
@@ -276,6 +273,48 @@ class TestConditions:
         sim.process(proc())
         sim.run()
         assert results == [(1.0, 1, "fast")]
+
+    def test_any_of_duplicate_event_reports_first_index(self, sim):
+        results = []
+
+        def proc():
+            shared = sim.timeout(1.0, "v")
+            index, value = yield sim.any_of([shared, shared, shared])
+            results.append((index, value))
+
+        sim.process(proc())
+        sim.run()
+        assert results == [(0, "v")]
+
+    def test_any_of_duplicate_behind_distinct_event(self, sim):
+        results = []
+
+        def proc():
+            slow = sim.timeout(5.0, "slow")
+            fast = sim.timeout(1.0, "fast")
+            index, value = yield sim.any_of([slow, fast, fast])
+            results.append((index, value))
+
+        sim.process(proc())
+        sim.run()
+        # The duplicate's first occurrence (slot 1) wins, never slot 2.
+        assert results == [(1, "fast")]
+
+    def test_any_of_empty_fires_immediately(self, sim):
+        done = []
+
+        def proc():
+            value = yield sim.any_of([])
+            done.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [[]]
+
+    def test_any_of_index_lookup_is_precomputed(self, sim):
+        events = [sim.event() for _ in range(4)]
+        condition = sim.any_of(events)
+        assert condition._index_of == {id(event): i for i, event in enumerate(events)}
 
     def test_all_of_propagates_failure(self, sim):
         event = sim.event()

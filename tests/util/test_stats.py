@@ -1,6 +1,5 @@
 """Tests for online statistics, histograms, and timelines."""
 
-import math
 import random
 
 import pytest
@@ -142,3 +141,21 @@ class TestThroughputTimeline:
 
     def test_empty_series(self):
         assert ThroughputTimeline(0.1).series() == []
+
+    def test_series_start_past_last_window_is_empty(self):
+        timeline = ThroughputTimeline(window=0.1)
+        timeline.record(0.05)
+        assert timeline.series(start=5.0) == []
+
+    def test_series_with_explicit_end(self):
+        timeline = ThroughputTimeline(window=0.1)
+        timeline.record(0.05)
+        series = timeline.series(start=0.0, end=0.25)
+        assert [point[0] for point in series] == pytest.approx([0.0, 0.1, 0.2])
+        assert series[0][1] == pytest.approx(10.0)
+
+    def test_record_accumulates_counts_in_one_window(self):
+        timeline = ThroughputTimeline(window=1.0)
+        timeline.record(0.2)
+        timeline.record(0.9, count=4)
+        assert timeline._windows == {0: 5}

@@ -1,6 +1,5 @@
 """Tests for the TATP workload."""
 
-import random
 
 import pytest
 
