@@ -1,0 +1,390 @@
+"""Mutation-testing harness for the PILL sanitizer.
+
+Each mutant is a deliberately broken Pandora engine (or a re-enabled
+FORD bug flag) run through a small hand-wired rig with the sanitizer in
+collect mode. The harness asserts two things per mutant:
+
+* the sanitizer reports the expected violation code, and
+* the *same scenario* under the unmutated engine reports nothing —
+  so a detection is evidence of the mutation, not of a trigger-happy
+  checker.
+
+Run with ``python -m repro.analysis mutants``; the CLI exits nonzero
+unless every mutant is caught and every control run is clean.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.analysis.sanitizer import (
+    LOG_WITHOUT_LOCK,
+    STEAL_LIVE_OWNER,
+    UNLOCK_BEFORE_TRUNCATE,
+    UNLOCK_BY_NON_OWNER,
+    WRITE_WITHOUT_LOCK,
+    PillSanitizer,
+)
+from repro.cluster.node import ComputeNode
+from repro.kvs.catalog import Catalog, TableSpec
+from repro.kvs.placement import Placement
+from repro.memory.node import LogRecord, MemoryNode
+from repro.protocol.coordinator import Coordinator, CoordinatorConfig
+from repro.protocol.locks import is_locked
+from repro.protocol.pandora import PandoraProtocol, pandora_factory
+from repro.protocol.types import BugFlags
+from repro.rdma.network import Network, NetworkConfig
+from repro.rdma.verbs import Verbs
+from repro.sim import Simulator
+
+__all__ = [
+    "MutantResult",
+    "MutantRig",
+    "MUTANTS",
+    "run_mutation_harness",
+    "render_results",
+]
+
+
+class _NoWorkload:
+    """Rig coordinators are driven manually; this is never called."""
+
+    def next_transaction(self, rng):  # pragma: no cover
+        raise RuntimeError("mutant rig transactions are submitted directly")
+
+
+class MutantRig:
+    """ProtocolRig twin with a collect-mode sanitizer wired in.
+
+    (``tests/protocol/conftest.py`` holds the original; the harness
+    ships inside the package so CI can run it without pytest.)
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable,
+        memory_nodes: int = 2,
+        compute_nodes: int = 2,
+        replication: int = 2,
+        keys: int = 64,
+    ) -> None:
+        self.sim = Simulator()
+        self.network = Network(NetworkConfig(jitter=0.0), random.Random(11))
+        self.memory = {i: MemoryNode(i) for i in range(memory_nodes)}
+        self.placement = Placement(
+            list(self.memory), replication_degree=replication, partitions=16
+        )
+        self.catalog = Catalog(self.placement)
+        self.catalog.add_table(TableSpec(0, "kv", max_keys=keys + 16, value_size=8))
+        self.catalog.provision(self.memory.values())
+        self.catalog.load(self.memory, 0, ((k, 0) for k in range(keys)))
+
+        self.sanitizer = PillSanitizer(
+            self.memory, failed_ids=frozenset(), sim=self.sim, strict=False
+        )
+        for node in self.memory.values():
+            node.sanitizer = self.sanitizer
+
+        self.nodes = []
+        self.coordinators = []
+        for node_id in range(compute_nodes):
+            verbs = Verbs(
+                self.sim, node_id, self.network, self.memory, sanitizer=self.sanitizer
+            )
+            node = ComputeNode(self.sim, node_id, verbs, self.catalog)
+            self.nodes.append(node)
+            coordinator = Coordinator(
+                node,
+                node_id,
+                engine_factory,
+                _NoWorkload(),
+                random.Random(1000 + node_id),
+                CoordinatorConfig(max_attempts=1),
+            )
+            node.add_coordinator(coordinator)
+            self.coordinators.append(coordinator)
+
+    def submit(self, coordinator, logic, delay: float = 0.0):
+        """Start one transaction (optionally after *delay*); its Process."""
+        if delay <= 0.0:
+            return self.sim.process(
+                coordinator.run_transaction(logic),
+                name=f"txn-c{coordinator.coord_id}",
+            )
+        started: List = []
+
+        def kick() -> None:
+            started.append(
+                self.sim.process(
+                    coordinator.run_transaction(logic),
+                    name=f"txn-c{coordinator.coord_id}",
+                )
+            )
+
+        self.sim.call_at(delay, kick)
+        return started
+
+
+# -- the mutants ---------------------------------------------------------------
+
+
+class StealAnyLockEngine(PandoraProtocol):
+    """MUTANT: treats *every* held lock as stray (skips the failed-ids
+    check), so the second CAS steals locks from live coordinators."""
+
+    name = "mutant-steal-any"
+
+    def _is_stray(self, word: int) -> bool:
+        return is_locked(word)
+
+
+class WriteWithoutLockEngine(PandoraProtocol):
+    """MUTANT: the acquire path only *reads* the object and pretends
+    the lock was taken — commits then update replicas lock-free."""
+
+    name = "mutant-no-lock"
+
+    def _acquire_inner(self, tx, intent):
+        table_id, slot = intent.table_id, intent.slot
+        primary = self.placement.primary(table_id, slot)
+        _lock, version, present, value = yield self.verbs.read_object(
+            primary, table_id, slot
+        )
+        intent.locked = True
+        intent.lock_node = primary
+        intent.old_version = version
+        intent.old_value = value
+        intent.old_present = present
+        intent.lock_result = (True, "")
+
+
+class EagerLogEngine(PandoraProtocol):
+    """MUTANT: posts the coalesced undo record *before* the lock
+    barrier (log-before-lock/validate), covering intents whose CAS has
+    not succeeded — or never will."""
+
+    name = "mutant-eager-log"
+
+    def _lock_barrier(self, tx):
+        self._post_eager_log(tx)
+        yield from super()._lock_barrier(tx)
+
+    def _post_eager_log(self, tx) -> None:
+        # _lock_barrier runs exactly once per attempt, so no reentry
+        # guard is needed (Txn is slotted — no ad-hoc attributes).
+        if not tx.write_set:
+            return
+        entries = tuple(intent.log_entry() for intent in tx.write_set.values())
+        value_sizes = {
+            spec.table_id: spec.value_size for spec in self.catalog.tables.values()
+        }
+        for node in self.catalog.log_nodes(self.coord_id):
+            record = LogRecord(
+                coord_id=self.coord_id, txn_id=tx.txn_id, entries=entries
+            )
+            ack = self.verbs.write_log(node, record, record.size_bytes(value_sizes))
+            tx.log_acks.append(ack)
+            self._remember_log_copy(tx, node, ack)
+
+    def _post_coalesced_log(self, tx) -> None:
+        return  # superseded by the eager post
+
+
+def _factory_for(engine_class: type) -> Callable:
+    def factory(coordinator):
+        return engine_class(coordinator, bugs=BugFlags.fixed())
+
+    return factory
+
+
+# -- scenarios -----------------------------------------------------------------
+#
+# Each scenario drives a fixed interleaving through a rig built with
+# *engine_factory* and returns the rig (whose sanitizer holds whatever
+# violations were observed). The same scenario doubles as its own
+# control when run with the unmutated pandora factory.
+
+
+def _scenario_contended_write(engine_factory: Callable) -> MutantRig:
+    """c0 holds key 3 for 80us mid-transaction; c1 blind-writes it."""
+    rig = MutantRig(engine_factory)
+
+    def holder(tx):
+        yield from tx.read_for_update("kv", 3)
+        yield rig.sim.timeout(80e-6)
+        tx.write("kv", 3, 99)
+
+    def writer(tx):
+        tx.write("kv", 3, 7)
+
+    rig.submit(rig.coordinators[0], holder)
+    rig.submit(rig.coordinators[1], writer, delay=10e-6)
+    rig.sim.run()
+    return rig
+
+
+def _scenario_single_write(engine_factory: Callable) -> MutantRig:
+    """One uncontended read-modify-write transaction."""
+    rig = MutantRig(engine_factory)
+
+    def rmw(tx):
+        value = yield from tx.read("kv", 5)
+        tx.write("kv", 5, (value or 0) + 1)
+
+    rig.submit(rig.coordinators[0], rmw)
+    rig.sim.run()
+    return rig
+
+
+def _scenario_validation_abort(engine_factory: Callable) -> MutantRig:
+    """c0 reads key 2, stalls, writes key 9; c1 bumps key 2 meanwhile —
+    c0's validation fails and it must abort *after* logging."""
+    rig = MutantRig(engine_factory)
+
+    def stalled(tx):
+        yield from tx.read("kv", 2)
+        yield rig.sim.timeout(40e-6)
+        tx.write("kv", 9, 42)
+
+    def bumper(tx):
+        tx.write("kv", 2, 1)
+
+    rig.submit(rig.coordinators[0], stalled)
+    rig.submit(rig.coordinators[1], bumper, delay=5e-6)
+    rig.sim.run()
+    return rig
+
+
+def _scenario_conflict_abort(engine_factory: Callable) -> MutantRig:
+    """c0 holds key 3; c1 tries keys 3 and 11 — key 3 conflicts, so c1
+    aborts while key 3 is still legitimately held by c0."""
+    rig = MutantRig(engine_factory)
+
+    def holder(tx):
+        yield from tx.read_for_update("kv", 3)
+        yield rig.sim.timeout(60e-6)
+        tx.write("kv", 3, 99)
+
+    def loser(tx):
+        tx.write("kv", 3, 1)
+        tx.write("kv", 11, 2)
+
+    rig.submit(rig.coordinators[0], holder)
+    rig.submit(rig.coordinators[1], loser, delay=5e-6)
+    rig.sim.run()
+    return rig
+
+
+@dataclass
+class MutantSpec:
+    """One seeded protocol mutation and how the sanitizer must react."""
+
+    name: str
+    description: str
+    engine_factory: Callable
+    scenario: Callable[[Callable], MutantRig]
+    expected_code: str
+    # Bug-flag mutants reuse the stock engine, so their control factory
+    # is the same engine with the flag off.
+    control_factory: Callable = field(default_factory=lambda: pandora_factory(None))
+
+
+MUTANTS: List[MutantSpec] = [
+    MutantSpec(
+        name="steal-without-failed-check",
+        description="second CAS steals a live coordinator's lock",
+        engine_factory=_factory_for(StealAnyLockEngine),
+        scenario=_scenario_contended_write,
+        expected_code=STEAL_LIVE_OWNER,
+    ),
+    MutantSpec(
+        name="write-without-lock",
+        description="commit writes replicas without ever locking",
+        engine_factory=_factory_for(WriteWithoutLockEngine),
+        scenario=_scenario_single_write,
+        expected_code=WRITE_WITHOUT_LOCK,
+    ),
+    MutantSpec(
+        name="log-before-lock",
+        description="coalesced undo record posted before the lock barrier",
+        engine_factory=_factory_for(EagerLogEngine),
+        scenario=_scenario_contended_write,
+        expected_code=LOG_WITHOUT_LOCK,
+    ),
+    MutantSpec(
+        name="lost-abort-decision",
+        description="abort unlocks without truncating its undo records",
+        engine_factory=pandora_factory(BugFlags(lost_decision=True)),
+        scenario=_scenario_validation_abort,
+        expected_code=UNLOCK_BEFORE_TRUNCATE,
+    ),
+    MutantSpec(
+        name="complicit-abort",
+        description="abort releases write-set locks it never acquired",
+        engine_factory=pandora_factory(BugFlags(complicit_abort=True)),
+        scenario=_scenario_conflict_abort,
+        expected_code=UNLOCK_BY_NON_OWNER,
+    ),
+]
+
+
+@dataclass
+class MutantResult:
+    """Outcome of one mutant + its control run."""
+
+    name: str
+    description: str
+    expected_code: str
+    caught: bool
+    codes: List[str]
+    control_clean: bool
+    control_codes: List[str]
+
+    @property
+    def passed(self) -> bool:
+        return self.caught and self.control_clean
+
+
+def run_mutation_harness(only: Optional[List[str]] = None) -> List[MutantResult]:
+    """Run every mutant and its control; returns one result per mutant."""
+    results = []
+    for spec in MUTANTS:
+        if only and spec.name not in only:
+            continue
+        mutant_rig = spec.scenario(spec.engine_factory)
+        codes = [violation.code for violation in mutant_rig.sanitizer.violations]
+        control_rig = spec.scenario(spec.control_factory)
+        control_codes = [
+            violation.code for violation in control_rig.sanitizer.violations
+        ]
+        results.append(
+            MutantResult(
+                name=spec.name,
+                description=spec.description,
+                expected_code=spec.expected_code,
+                caught=spec.expected_code in codes,
+                codes=codes,
+                control_clean=not control_codes,
+                control_codes=control_codes,
+            )
+        )
+    return results
+
+
+def render_results(results: List[MutantResult]) -> str:
+    lines = []
+    for result in results:
+        verdict = "caught" if result.caught else "MISSED"
+        control = "clean" if result.control_clean else "NOISY"
+        lines.append(
+            f"{result.name:28s} want={result.expected_code:14s} "
+            f"{verdict:7s} got={','.join(sorted(set(result.codes))) or '-'} "
+            f"control={control}"
+        )
+        if not result.control_clean:
+            lines.append(f"{'':28s} control codes: {sorted(set(result.control_codes))}")
+    passed = sum(1 for result in results if result.passed)
+    lines.append(f"{passed}/{len(results)} mutants detected with clean controls")
+    return "\n".join(lines)

@@ -103,6 +103,16 @@ class RecoveryLatencyResult:
     latency: float  # log-recovery step latency (seconds)
 
 
+def _check_sanitizer(cluster: Cluster) -> None:
+    """Surface collected PILL violations after a sanitized run."""
+    sanitizer = getattr(cluster, "sanitizer", None)
+    if sanitizer is not None and sanitizer.violations:
+        # Each violation is a structured AssertionError with the verb
+        # timeline attached; re-raising the first is the loud path the
+        # CLI/CI rely on.
+        raise sanitizer.violations[0]
+
+
 def run_steady_state(
     workload_factory: Callable[[], object],
     protocol: str = "pandora",
@@ -118,6 +128,7 @@ def run_steady_state(
     cluster = Cluster(cfg, workload, obs=obs)
     cluster.start()
     cluster.run(until=warmup + duration)
+    _check_sanitizer(cluster)
     if obs is not None:
         obs.sample_kernel(cluster.sim)
     stats = cluster.aggregate_stats()
@@ -171,6 +182,7 @@ def run_failover(
     else:
         cluster.crash_memory(0, at=crash_at)
     cluster.run(until=duration)
+    _check_sanitizer(cluster)
     if obs is not None:
         obs.sample_kernel(cluster.sim)
 

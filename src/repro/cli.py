@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.bench.harness import (
     run_failover,
@@ -29,6 +29,15 @@ from repro.workloads import MicroBenchmark, SmallBank, Tatp, TpcC
 __all__ = ["main", "build_parser"]
 
 PROTOCOLS = ("pandora", "baseline", "ford", "tradlog")
+
+
+def _add_sanitize_flag(parser) -> None:
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the PILL protocol sanitizer (repro.analysis): "
+             "shadow the lock table at the verb layer and fail the run "
+             "on any lock/log-discipline violation",
+    )
 
 
 def _add_obs_flags(parser) -> None:
@@ -104,12 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
     litmus.add_argument("--rounds", type=int, default=30)
     litmus.add_argument("--crash-probability", type=float, default=0.4)
     litmus.add_argument("--seed", type=int, default=5)
+    _add_sanitize_flag(litmus)
 
     steady = sub.add_parser("steady", help="steady-state throughput")
     steady.add_argument("--workload", default="micro")
     steady.add_argument("--protocol", default="pandora", choices=PROTOCOLS)
     steady.add_argument("--write-ratio", type=float, default=1.0)
     steady.add_argument("--duration-ms", type=float, default=20.0)
+    _add_sanitize_flag(steady)
     _add_obs_flags(steady)
 
     failover = sub.add_parser("failover", help="crash a node mid-run")
@@ -119,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--write-ratio", type=float, default=1.0)
     failover.add_argument("--reuse", action="store_true",
                           help="restart the failed compute node (reuse resources)")
+    _add_sanitize_flag(failover)
     _add_obs_flags(failover)
 
     latency = sub.add_parser(
@@ -165,27 +177,39 @@ def _cmd_litmus(args) -> int:
     from repro.litmus import LITMUS_SUITE, LitmusRunner
 
     failed = 0
+    sanitizer_violations = 0
     for spec in LITMUS_SUITE():
-        report = LitmusRunner(
+        runner = LitmusRunner(
             spec,
             protocol=args.protocol,
             rounds=args.rounds,
             crash_probability=args.crash_probability,
             seed=args.seed,
-        ).run()
+            sanitize=args.sanitize,
+        )
+        report = runner.run()
         print(report.summary())
         if not report.passed:
             failed += 1
             for violation in report.violations[:3]:
                 print(f"    {violation.description}")
-    return 1 if failed else 0
+        sanitizer = runner.cluster.sanitizer
+        if sanitizer is not None and sanitizer.violations:
+            sanitizer_violations += len(sanitizer.violations)
+            print(f"    sanitizer: {len(sanitizer.violations)} violation(s)")
+            for violation in sanitizer.violations[:3]:
+                print(f"      [{violation.code}] {violation.message}")
+    if sanitizer_violations:
+        print(f"sanitizer flagged {sanitizer_violations} violation(s) total")
+    return 1 if (failed or sanitizer_violations) else 0
 
 
 def _cmd_steady(args) -> int:
     factory = _workload_factory(args.workload, args.write_ratio)
     obs = _build_obs(args)
     result = run_steady_state(
-        factory, args.protocol, duration=args.duration_ms * 1e-3, obs=obs
+        factory, args.protocol, duration=args.duration_ms * 1e-3, obs=obs,
+        sanitize=args.sanitize,
     )
     print(result.row())
     _finish_obs(obs, args, commits=result.commits)
@@ -201,6 +225,7 @@ def _cmd_failover(args) -> int:
         crash_kind=args.crash,
         reuse_resources=args.reuse,
         obs=obs,
+        sanitize=args.sanitize,
     )
     print(
         format_series(
@@ -243,7 +268,7 @@ def _cmd_recovery_latency(args) -> int:
     return 0
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "quickstart": lambda a: _run_quickstart(),

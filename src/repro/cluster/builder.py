@@ -44,7 +44,7 @@ RECOVERY_SERVER_ID = 10_000
 class Cluster:
     """A fully wired simulated deployment."""
 
-    def __init__(self, config: ClusterConfig, workload, obs=None) -> None:
+    def __init__(self, config: ClusterConfig, workload, obs=None, sanitizer=None) -> None:
         config.validate()
         self.config = config
         self.workload = workload
@@ -97,10 +97,29 @@ class Cluster:
 
         self.fd.obs = self.obs
 
+        # Optional PILL sanitizer (repro.analysis). Collect mode: buggy
+        # protocols must run to completion so litmus/bench report the
+        # violations at the end instead of dying on the first one.
+        if sanitizer is None and config.sanitize:
+            from repro.analysis.sanitizer import PillSanitizer
+
+            sanitizer = PillSanitizer(
+                self.memory_nodes,
+                failed_ids=self.id_allocator.failed,
+                recovery_id=RECOVERY_SERVER_ID,
+                sim=self.sim,
+                obs=obs,
+                strict=False,
+            )
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            for memory in self.memory_nodes.values():
+                memory.sanitizer = sanitizer
+
         # Recovery manager with its own verbs (dedicated server).
         recovery_verbs = Verbs(
             self.sim, RECOVERY_SERVER_ID, self.network, self.memory_nodes,
-            obs=self.obs,
+            obs=self.obs, sanitizer=sanitizer,
         )
         self.recovery = RecoveryManager(
             self.sim,
@@ -134,7 +153,8 @@ class Cluster:
         self.compute_nodes: Dict[int, ComputeNode] = {}
         for node_id in range(config.compute_nodes):
             verbs = Verbs(
-                self.sim, node_id, self.network, self.memory_nodes, obs=self.obs
+                self.sim, node_id, self.network, self.memory_nodes,
+                obs=self.obs, sanitizer=sanitizer,
             )
             node = ComputeNode(
                 self.sim, node_id, verbs, self.catalog, faults=self.injector

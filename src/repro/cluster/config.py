@@ -74,6 +74,11 @@ class ClusterConfig:
     # Determinism.
     seed: int = 42
 
+    # Opt-in PILL protocol sanitizer (repro.analysis): shadow the lock
+    # table at the verb layer and record protocol violations. Disabled
+    # runs are bit-identical to runs without the sanitizer wired in.
+    sanitize: bool = False
+
     # Measurement.
     throughput_window: float = 1e-3
 

@@ -17,13 +17,22 @@ litmus failures replay.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.sim import Event, Simulator
 
-__all__ = ["CrashPlan", "FaultInjector"]
+__all__ = ["CrashPlan", "FaultInjector", "DEFAULT_FAULT_SEED"]
+
+# Seed used when a fault component is built without an explicit RNG.
+# Kept as a named constant (and logged on use) so a run that silently
+# fell back to it is distinguishable from one that was seeded on
+# purpose — `rng or random.Random(0)` hid that difference.
+DEFAULT_FAULT_SEED = 0
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -51,7 +60,13 @@ class FaultInjector:
 
     def __init__(self, sim: Simulator, rng: Optional[random.Random] = None) -> None:
         self.sim = sim
-        self.rng = rng or random.Random(0)
+        if rng is None:
+            logger.debug(
+                "FaultInjector built without an RNG; seeding with "
+                "DEFAULT_FAULT_SEED=%d", DEFAULT_FAULT_SEED,
+            )
+            rng = random.Random(DEFAULT_FAULT_SEED)
+        self.rng = rng
         self._plans_by_node: Dict[int, List[CrashPlan]] = {}
         self.crashes: List[tuple] = []  # (time, node_id, point)
 

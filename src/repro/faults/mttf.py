@@ -11,12 +11,16 @@ lock stealing observable at low MTTF.
 
 from __future__ import annotations
 
+import logging
 import random
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, Optional
 
+from repro.faults.injector import DEFAULT_FAULT_SEED
 from repro.sim import Event, Simulator
 
 __all__ = ["MttfProcess"]
+
+logger = logging.getLogger(__name__)
 
 
 class MttfProcess:
@@ -29,7 +33,7 @@ class MttfProcess:
         restart: Callable[[Any], None],
         mttf: float,
         repair_time: float = 2e-3,
-        rng: random.Random = None,
+        rng: Optional[random.Random] = None,
         jitter: bool = True,
     ) -> None:
         if mttf <= 0:
@@ -41,7 +45,13 @@ class MttfProcess:
         self.restart = restart
         self.mttf = mttf
         self.repair_time = repair_time
-        self.rng = rng or random.Random(0)
+        if rng is None:
+            logger.debug(
+                "MttfProcess built without an RNG; seeding with "
+                "DEFAULT_FAULT_SEED=%d", DEFAULT_FAULT_SEED,
+            )
+            rng = random.Random(DEFAULT_FAULT_SEED)
+        self.rng = rng
         self.jitter = jitter
         self.crash_count = 0
         self.process = None

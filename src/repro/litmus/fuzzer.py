@@ -142,6 +142,7 @@ class HistoryFuzzer:
         duration: float = 15e-3,
         crash_probability_per_ms: float = 0.0,
         seed: int = 0,
+        sanitize: bool = False,
     ) -> None:
         self.protocol = protocol
         self.duration = duration
@@ -158,6 +159,7 @@ class HistoryFuzzer:
             fd_heartbeat_interval=0.3e-3,
             fd_check_interval=0.15e-3,
             restart_failed_after=2e-3,
+            sanitize=sanitize,
         )
         self.cluster = Cluster(config, _FuzzWorkload(keys))
         self.history: List = []

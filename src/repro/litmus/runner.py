@@ -133,6 +133,7 @@ class LitmusRunner:
         max_start_offset: float = 8e-6,
         crash_points: Optional[List[str]] = None,
         retry_writers: bool = True,
+        sanitize: bool = False,
     ) -> None:
         self.spec = spec
         # One-shot writers match Figure 5 exactly (each litmus txn runs
@@ -160,6 +161,7 @@ class LitmusRunner:
             fd_check_interval=0.05e-3,
             drain_delay=0.2e-3,
             abandon_on_conflict=not retry_writers,
+            sanitize=sanitize,
         )
         config.network.jitter = jitter
         self.cluster = Cluster(config, self.workload)

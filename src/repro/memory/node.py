@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis import NOOP_SANITIZER
+
 __all__ = ["ObjectSlot", "LogRecord", "LogRegion", "MemoryNode", "OBJECT_HEADER_BYTES"]
 
 # Lock word (8B) + version (8B) = per-object metadata read alongside values.
@@ -152,6 +154,9 @@ class MemoryNode:
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
         self.alive = True
+        # PILL sanitizer hook (repro.analysis); the no-op singleton
+        # keeps the disabled path at one lookup + one empty call.
+        self.sanitizer = NOOP_SANITIZER
         self.tables: Dict[int, List[ObjectSlot]] = {}
         self.value_sizes: Dict[int, int] = {}
         self.log_regions: Dict[int, LogRegion] = {}
@@ -217,7 +222,10 @@ class MemoryNode:
         if handler is None:
             raise ValueError(f"unknown verb kind {kind!r}")
         self.verb_counts[kind] = self.verb_counts.get(kind, 0) + 1
-        return handler(src_compute_id, args)
+        self.sanitizer.before_verb(self, src_compute_id, kind, args)
+        result = handler(src_compute_id, args)
+        self.sanitizer.after_verb(self, src_compute_id, kind, args, result[0])
+        return result
 
     # Data-path verbs ---------------------------------------------------------
 

@@ -877,6 +877,18 @@ class ProtocolEngine:
                 yield self.sim.all_of(pending)
             except RdmaError:
                 pass
+        # Drain in-flight log acks (they all resolve: a copy to a dead
+        # node fails at arrival) so the release below can invalidate
+        # every copy we learn about — otherwise a valid undo record
+        # outlives the unlock and recovery could mistake the aborted
+        # txn for an in-flight one (§3.1.5 discipline, §3.2.5 path).
+        for ack in tx.log_acks:
+            if ack.triggered:
+                continue
+            try:
+                yield ack
+            except RdmaError:
+                pass
 
         if tx.apply_done:
             # All replica updates landed before the interrupt: commit.
@@ -891,20 +903,30 @@ class ProtocolEngine:
             )
 
         # Roll back: restore the undo image on any replica we updated.
+        # Same ordering discipline as _commit: wait for the restore
+        # writes to land before the locks are released, else a stale
+        # undo image on one replica could race a successor's update.
+        undo_acks = []
         for intent in tx.write_set.values():
             if intent.applied:
                 value_size = self._log_value_size(intent.table_id)
                 for node in self.placement.live_replicas(intent.table_id, intent.slot):
-                    self.verbs.write_object(
-                        node,
-                        intent.table_id,
-                        intent.slot,
-                        intent.old_version,
-                        intent.old_value,
-                        intent.old_present,
-                        value_size=value_size,
-                        signaled=False,
+                    undo_acks.append(
+                        self.verbs.write_object(
+                            node,
+                            intent.table_id,
+                            intent.slot,
+                            intent.old_version,
+                            intent.old_value,
+                            intent.old_present,
+                            value_size=value_size,
+                        )
                     )
+        for ack in undo_acks:
+            try:
+                yield ack
+            except RdmaError:
+                pass
         self._best_effort_release(tx)
         self.coordinator.on_abort(tx, AbortReason.MEMORY_RECONFIG)
         return TxnOutcome(
@@ -916,10 +938,16 @@ class ProtocolEngine:
         )
 
     def _best_effort_release(self, tx: Txn) -> None:
-        """Unlock held locks and drop log records without waiting."""
+        """Drop log records, then unlock held locks, without waiting.
+
+        Same order as :meth:`_abort`: the record invalidations are
+        posted *before* the unlocks so the decision is never ambiguous
+        to a concurrent recovery (§3.1.5) — even though here nothing
+        waits for either.
+        """
+        for node, record_id in tx.logged_records:
+            self.verbs.invalidate_log(node, self.coord_id, record_id, signaled=False)
         for intent in tx.write_set.values():
             if intent.locked:
                 self.verbs.write_lock(intent.lock_node, intent.table_id, intent.slot, 0)
                 self._release_lock_logs(intent)
-        for node, record_id in tx.logged_records:
-            self.verbs.invalidate_log(node, self.coord_id, record_id, signaled=False)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Tuple
 
+from repro.analysis import NOOP_SANITIZER
 from repro.obs import NOOP_OBS
 from repro.rdma.errors import LinkRevokedError, RemoteNodeDownError
 from repro.rdma.network import Network
@@ -39,6 +40,7 @@ class QueuePair:
         "_last_response_arrival",
         "posted_verbs",
         "obs",
+        "sanitizer",
     )
 
     def __init__(
@@ -48,6 +50,7 @@ class QueuePair:
         compute_id: int,
         memory_node: Any,
         obs: Optional[Any] = None,
+        sanitizer: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -59,6 +62,8 @@ class QueuePair:
         # Observability hooks; the no-op singleton keeps the disabled
         # path at one attribute lookup + one empty call per verb.
         self.obs = obs if obs is not None else NOOP_OBS
+        # PILL sanitizer hook (repro.analysis), same no-op pattern.
+        self.sanitizer = sanitizer if sanitizer is not None else NOOP_SANITIZER
 
     def post(
         self,
@@ -87,6 +92,9 @@ class QueuePair:
             self.memory_node.node_id,
             request_size + VERB_HEADER_BYTES,
             posted_at,
+        )
+        self.sanitizer.on_post(
+            self.compute_id, self.memory_node.node_id, kind, args, posted_at
         )
         arrival = max(
             self._last_request_arrival,

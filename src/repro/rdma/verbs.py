@@ -38,13 +38,16 @@ class Verbs:
         network: Network,
         memory_nodes: Dict[int, Any],
         obs: Optional[Any] = None,
+        sanitizer: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.compute_id = compute_id
         self.network = network
         self.obs = obs if obs is not None else NOOP_OBS
         self.qps: Dict[int, QueuePair] = {
-            node_id: QueuePair(sim, network, compute_id, node, obs=self.obs)
+            node_id: QueuePair(
+                sim, network, compute_id, node, obs=self.obs, sanitizer=sanitizer
+            )
             for node_id, node in memory_nodes.items()
         }
 

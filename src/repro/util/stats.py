@@ -9,7 +9,7 @@ million-transaction runs stay cheap.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["OnlineStats", "Histogram", "ThroughputTimeline"]
 
@@ -185,7 +185,9 @@ class ThroughputTimeline:
         """Total operations recorded across all windows."""
         return sum(self._windows.values())
 
-    def series(self, start: float = 0.0, end: float = None) -> List[Tuple[float, float]]:
+    def series(
+        self, start: float = 0.0, end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
         """Return [(window start time, throughput in ops/sec)] pairs."""
         if not self._windows and end is None:
             return []

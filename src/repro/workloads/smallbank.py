@@ -13,7 +13,7 @@ transactions so the global total is exactly preserved.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.workloads.base import Workload
 
@@ -45,8 +45,8 @@ class SmallBank(Workload):
         self,
         accounts: int = 10_000,
         value_size: int = 16,
-        hot_accounts: int = None,
-        mix: Dict[str, float] = None,
+        hot_accounts: Optional[int] = None,
+        mix: Optional[Dict[str, float]] = None,
         conserving_only: bool = False,
     ) -> None:
         if accounts < 2:

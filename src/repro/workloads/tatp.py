@@ -13,7 +13,7 @@ start hour in {0, 8, 16}).
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.workloads.base import Workload
 
@@ -48,7 +48,7 @@ class Tatp(Workload):
         self,
         subscribers: int = 10_000,
         value_size: int = 48,
-        mix: Dict[str, float] = None,
+        mix: Optional[Dict[str, float]] = None,
     ) -> None:
         if subscribers < 1:
             raise ValueError("need at least one subscriber")

@@ -21,7 +21,7 @@ Scaled for simulation:
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.workloads.base import Workload
 
@@ -61,7 +61,7 @@ class TpcC(Workload):
         order_capacity: int = 100,
         max_order_lines: int = 10,
         history_capacity: int = 2_000,
-        mix: Dict[str, float] = None,
+        mix: Optional[Dict[str, float]] = None,
     ) -> None:
         if warehouses < 1:
             raise ValueError("need at least one warehouse")

@@ -1,0 +1,42 @@
+"""Mutation testing: every seeded protocol bug must trip the sanitizer."""
+
+import pytest
+
+from repro.analysis.mutants import (
+    MUTANTS,
+    render_results,
+    run_mutation_harness,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_mutation_harness()
+
+
+def test_every_mutant_has_a_result(results):
+    assert len(results) == len(MUTANTS) >= 3
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in MUTANTS])
+def test_mutant_detected_with_clean_control(results, name):
+    result = next(r for r in results if r.name == name)
+    assert result.caught, (name, result.codes)
+    assert result.control_clean, (name, result.control_codes)
+    assert result.passed
+
+
+def test_expected_codes_are_distinct_enough(results):
+    """The harness exercises at least three distinct violation codes."""
+    assert len({r.expected_code for r in results}) >= 3
+
+
+def test_render_results_summarises(results):
+    text = render_results(results)
+    assert f"{len(results)}/{len(results)} mutants detected" in text
+
+
+def test_cli_mutants_exit_zero():
+    from repro.analysis.cli import main
+
+    assert main(["mutants"]) == 0

@@ -1,0 +1,174 @@
+"""PillSanitizer: raw-verb strict checks plus end-to-end clean runs."""
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    LOCK_OVERWRITE,
+    PillSanitizer,
+    SanitizerViolation,
+    STEAL_LIVE_OWNER,
+    UNLOCK_BY_NON_OWNER,
+    WRITE_WITHOUT_LOCK,
+)
+from repro.memory.node import MemoryNode
+from repro.protocol.locks import encode_lock
+
+
+def make_node(node_id=0, slots=8):
+    node = MemoryNode(node_id)
+    node.create_table(0, slots, 8)
+    for slot in range(slots):
+        node.load_slot(0, slot, 0)
+    return node
+
+
+def make_strict(node, failed_ids=frozenset()):
+    sanitizer = PillSanitizer({node.node_id: node}, failed_ids=failed_ids, strict=True)
+    node.sanitizer = sanitizer
+    return sanitizer
+
+
+class TestStrictRawVerbs:
+    def test_write_without_lock_raises(self):
+        node = make_node()
+        make_strict(node)
+        with pytest.raises(SanitizerViolation) as excinfo:
+            node.apply(1, "write_object", (0, 3, 2, 99, True))
+        assert excinfo.value.code == WRITE_WITHOUT_LOCK
+
+    def test_locked_write_by_owner_passes(self):
+        node = make_node()
+        word = encode_lock(1)
+        make_strict(node)
+        node.apply(1, "cas_lock", (0, 3, 0, word))
+        # Non-advancing write (same version): needs the lock but no
+        # logged undo record, so only the lock discipline is in play.
+        node.apply(1, "write_object", (0, 3, 1, 99, True))
+        node.apply(1, "write_lock", (0, 3, 0))
+
+    def test_steal_from_live_owner_raises(self):
+        node = make_node()
+        make_strict(node)
+        node.apply(5, "cas_lock", (0, 3, 0, encode_lock(5)))
+        with pytest.raises(SanitizerViolation) as excinfo:
+            node.apply(1, "cas_lock", (0, 3, encode_lock(5), encode_lock(1)))
+        assert excinfo.value.code == STEAL_LIVE_OWNER
+
+    def test_steal_from_failed_owner_allowed(self):
+        node = make_node()
+        make_strict(node, failed_ids=frozenset({5}))
+        node.apply(5, "cas_lock", (0, 3, 0, encode_lock(5)))
+        node.apply(1, "cas_lock", (0, 3, encode_lock(5), encode_lock(1)))
+
+    def test_unlock_by_non_owner_raises(self):
+        node = make_node()
+        make_strict(node)
+        node.apply(5, "cas_lock", (0, 3, 0, encode_lock(5)))
+        with pytest.raises(SanitizerViolation) as excinfo:
+            node.apply(1, "write_lock", (0, 3, 0))
+        assert excinfo.value.code == UNLOCK_BY_NON_OWNER
+
+    def test_lock_overwrite_raises(self):
+        node = make_node()
+        make_strict(node)
+        node.apply(5, "cas_lock", (0, 3, 0, encode_lock(5)))
+        with pytest.raises(SanitizerViolation) as excinfo:
+            node.apply(1, "write_lock", (0, 3, encode_lock(1)))
+        assert excinfo.value.code == LOCK_OVERWRITE
+
+    def test_violation_carries_timeline(self):
+        node = make_node()
+        make_strict(node)
+        with pytest.raises(SanitizerViolation) as excinfo:
+            node.apply(1, "write_object", (0, 3, 2, 99, True))
+        text = str(excinfo.value)
+        assert WRITE_WITHOUT_LOCK in text
+        assert "write_object" in text
+
+    def test_collect_mode_records_without_raising(self):
+        node = make_node()
+        sanitizer = PillSanitizer({0: node}, strict=False)
+        node.sanitizer = sanitizer
+        node.apply(1, "write_object", (0, 3, 2, 99, True))
+        assert [v.code for v in sanitizer.violations] == [WRITE_WITHOUT_LOCK]
+
+
+class TestCleanProtocolRuns:
+    def test_stock_pandora_scenarios_are_clean(self):
+        from repro.analysis.mutants import MUTANTS
+
+        for spec in MUTANTS:
+            rig = spec.scenario(spec.control_factory)
+            codes = [v.code for v in rig.sanitizer.violations]
+            assert codes == [], (spec.name, codes)
+
+    def test_sanitized_steady_state_is_clean(self):
+        from repro.bench.harness import run_steady_state
+        from repro.workloads import MicroBenchmark
+
+        result = run_steady_state(
+            lambda: MicroBenchmark(num_keys=2_000, write_ratio=1.0),
+            "pandora",
+            duration=8e-3,
+            sanitize=True,
+        )
+        assert result.commits > 0
+
+    def test_sanitized_compute_failover_is_clean(self):
+        from repro.bench.harness import run_failover
+        from repro.workloads import MicroBenchmark
+
+        result = run_failover(
+            lambda: MicroBenchmark(num_keys=2_000, write_ratio=1.0),
+            "pandora",
+            crash_kind="compute",
+            crash_at=8e-3,
+            duration=25e-3,
+            sanitize=True,
+        )
+        assert result.pre_rate > 0
+
+    def test_sanitized_memory_failover_is_clean(self):
+        from repro.bench.harness import run_failover
+        from repro.workloads import MicroBenchmark
+
+        result = run_failover(
+            lambda: MicroBenchmark(num_keys=2_000, write_ratio=1.0),
+            "pandora",
+            crash_kind="memory",
+            crash_at=8e-3,
+            duration=25e-3,
+            sanitize=True,
+        )
+        assert result.pre_rate > 0
+
+    def test_sanitized_litmus_family_is_clean(self):
+        from repro.litmus import LITMUS_SUITE, LitmusRunner
+
+        spec = LITMUS_SUITE()[0]
+        runner = LitmusRunner(
+            spec,
+            protocol="pandora",
+            rounds=6,
+            crash_probability=0.5,
+            seed=5,
+            sanitize=True,
+        )
+        report = runner.run()
+        assert report.passed
+        assert runner.cluster.sanitizer.violations == []
+
+
+class TestDisabledSanitizerIsInert:
+    def test_runs_bit_identical_with_and_without_noop(self):
+        """A build without ``sanitize=True`` must not change behaviour —
+        the hooks are no-ops, so histories match a plain run exactly."""
+        from repro.litmus.fuzzer import HistoryFuzzer
+
+        plain = HistoryFuzzer(protocol="pandora", seed=9, duration=5e-3)
+        sanitized = HistoryFuzzer(
+            protocol="pandora", seed=9, duration=5e-3, sanitize=True
+        )
+        plain.run()
+        sanitized.run()
+        assert plain.history == sanitized.history

@@ -131,3 +131,41 @@ class TestMttfProcess:
         mttf.stop()
         cluster.run(until=0.010)
         assert node.alive
+
+
+class TestDefaultSeed:
+    """Components built without an RNG fall back to the named constant
+    (and say so at debug level) instead of a silent `random.Random(0)`."""
+
+    def test_constant_exists(self):
+        from repro.faults.injector import DEFAULT_FAULT_SEED
+
+        assert DEFAULT_FAULT_SEED == 0
+
+    def test_injector_fallback_matches_constant(self):
+        from repro.faults.injector import DEFAULT_FAULT_SEED
+
+        injector = FaultInjector(Simulator())
+        reference = random.Random(DEFAULT_FAULT_SEED)
+        assert [injector.rng.random() for _ in range(5)] == [
+            reference.random() for _ in range(5)
+        ]
+
+    def test_mttf_fallback_matches_constant(self):
+        from repro.faults.injector import DEFAULT_FAULT_SEED
+
+        cluster = make_cluster()
+        mttf = MttfProcess(
+            cluster.sim, cluster.compute_nodes[0], cluster.restart_compute, mttf=1.0
+        )
+        reference = random.Random(DEFAULT_FAULT_SEED)
+        assert [mttf.rng.random() for _ in range(5)] == [
+            reference.random() for _ in range(5)
+        ]
+
+    def test_fallback_logs_at_debug(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.DEBUG, logger="repro.faults.injector"):
+            FaultInjector(Simulator())
+        assert any("DEFAULT_FAULT_SEED" in record.message for record in caplog.records)

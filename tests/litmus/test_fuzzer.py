@@ -1,8 +1,10 @@
 """History-based fuzzing: random traffic must stay serializable."""
 
+import random
+
 import pytest
 
-from repro.litmus.fuzzer import HistoryFuzzer
+from repro.litmus.fuzzer import HistoryFuzzer, _FuzzWorkload
 from repro.protocol.types import BugFlags
 
 
@@ -51,3 +53,60 @@ class TestReportShape:
     def test_summary(self):
         report = HistoryFuzzer(protocol="pandora", seed=1, duration=3e-3).run()
         assert "SERIALIZABLE" in report.summary()
+
+
+def _scenario_stream(seed, count=200):
+    """The first *count* generated transaction kinds for one seed."""
+    workload = _FuzzWorkload(keys=24)
+    rng = random.Random(seed)
+    return [workload.next_transaction(rng).__name__ for _ in range(count)]
+
+
+class TestDeterminism:
+    """Fuzz runs must replay bit-identically from their seed — the
+    property every litmus failure report relies on."""
+
+    def test_same_seed_same_scenario_stream(self):
+        assert _scenario_stream(7) == _scenario_stream(7)
+
+    def test_different_seeds_differ(self):
+        assert _scenario_stream(7) != _scenario_stream(8)
+
+    def test_scenario_stream_covers_every_kind(self):
+        kinds = set(_scenario_stream(3, count=500))
+        assert kinds == {
+            "read_pair",
+            "rmw",
+            "blind",
+            "transfer",
+            "read_a_write_b",
+            "delete_or_revive",
+        }
+
+    def test_same_seed_identical_history(self):
+        first = HistoryFuzzer(protocol="pandora", seed=11, duration=5e-3)
+        second = HistoryFuzzer(protocol="pandora", seed=11, duration=5e-3)
+        first_report = first.run()
+        second_report = second.run()
+        assert first_report.committed == second_report.committed
+        assert first.history == second.history
+
+    def test_different_seed_distinct_history(self):
+        first = HistoryFuzzer(protocol="pandora", seed=11, duration=5e-3)
+        second = HistoryFuzzer(protocol="pandora", seed=12, duration=5e-3)
+        first.run()
+        second.run()
+        assert first.history != second.history
+
+    def test_same_seed_identical_under_crashes(self):
+        def run_once():
+            fuzzer = HistoryFuzzer(
+                protocol="pandora",
+                seed=21,
+                duration=12e-3,
+                crash_probability_per_ms=0.2,
+            )
+            report = fuzzer.run()
+            return report.crashes, list(fuzzer.history)
+
+        assert run_once() == run_once()
