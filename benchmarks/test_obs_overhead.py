@@ -23,6 +23,11 @@ FACTORY = smallbank_factory()
 # hot-path regression. Measured ~1.5-1.9x.
 MAX_ENABLED_OVERHEAD = 2.5
 
+# The flight recorder adds one list append per posted verb and two
+# in-place writes per completion on top of tracing. Measured ~1.1-1.2x
+# over the traced run.
+MAX_FLIGHT_OVERHEAD = 1.5
+
 
 def _timed_run(obs):
     started = time.perf_counter()
@@ -36,16 +41,25 @@ def test_obs_overhead():
     baseline, baseline_wall = _timed_run(None)
     disabled, disabled_wall = _timed_run(None)  # second run: warm caches
     traced, traced_wall = _timed_run(Obs(trace=True))
+    flown, flown_wall = _timed_run(Obs(trace=True, flight=True))
+    unflown, _unflown_wall = _timed_run(Obs(trace=True, flight=False))
 
-    # (a) Simulated outcomes are identical in every configuration.
+    # (a) Simulated outcomes are identical in every configuration —
+    # including with the flight recorder on (attribution is passive)
+    # and explicitly off (the NULL_FLIGHT path).
     assert disabled == baseline
     assert traced == baseline
+    assert flown == baseline
+    assert unflown == baseline
 
     ratio = traced_wall / disabled_wall
+    flight_ratio = flown_wall / traced_wall
     rows = [
         ("no obs (baseline)", f"{baseline_wall:.3f}", "-"),
         ("no obs (warm)", f"{disabled_wall:.3f}", "1.00"),
         ("Obs(trace=True)", f"{traced_wall:.3f}", f"{ratio:.2f}"),
+        ("Obs(trace=True, flight=True)", f"{flown_wall:.3f}",
+         f"{flown_wall / disabled_wall:.2f}"),
     ]
     write_report(
         "obs_overhead",
@@ -56,7 +70,12 @@ def test_obs_overhead():
         ),
     )
 
-    # (b) Enabled tracing stays within a bounded wall-clock factor.
+    # (b) Enabled tracing stays within a bounded wall-clock factor,
+    # and the flight recorder stays within its own factor over tracing.
     assert ratio < MAX_ENABLED_OVERHEAD, (
         f"tracing overhead {ratio:.2f}x exceeds {MAX_ENABLED_OVERHEAD}x"
+    )
+    assert flight_ratio < MAX_FLIGHT_OVERHEAD, (
+        f"flight-recorder overhead {flight_ratio:.2f}x over tracing "
+        f"exceeds {MAX_FLIGHT_OVERHEAD}x"
     )

@@ -98,8 +98,23 @@ _ENTROPY_CALLS = frozenset(
 _RANDOM_ALLOWED_ATTRS = frozenset({"Random"})
 
 # Files whose whole job is writing to stdout for a human: the CLIs and
-# the table/series formatters. Everything else reports via ``Obs``.
-_PRINT_ALLOWED_BASENAMES = frozenset({"cli.py", "__main__.py", "report.py"})
+# the report renderers (bench tables/series, obs flight reports).
+# Matched as normalized path suffixes on component boundaries, so a
+# stray ``report.py`` elsewhere in the tree is NOT exempt.
+_PRINT_ALLOWED_SUFFIXES = (
+    "cli.py",
+    "__main__.py",
+    "repro/bench/report.py",
+    "repro/obs/report.py",
+)
+
+
+def _print_allowed(path: str) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return any(
+        normalized == suffix or normalized.endswith("/" + suffix)
+        for suffix in _PRINT_ALLOWED_SUFFIXES
+    )
 
 _MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
 
@@ -191,7 +206,6 @@ def _is_set_expression(node: ast.AST) -> bool:
 class _Visitor(ast.NodeVisitor):
     def __init__(self, path: str) -> None:
         self.path = path
-        self.basename = os.path.basename(path)
         self.findings: List[Finding] = []
 
     def _flag(self, node: ast.AST, rule: str, detail: str = "") -> None:
@@ -223,7 +237,7 @@ class _Visitor(ast.NodeVisitor):
             ):
                 self._flag(node, "SIM002", dotted)
         if isinstance(node.func, ast.Name):
-            if node.func.id == "print" and self.basename not in _PRINT_ALLOWED_BASENAMES:
+            if node.func.id == "print" and not _print_allowed(self.path):
                 self._flag(node, "SIM007")
             elif node.func.id == "hash":
                 self._flag(

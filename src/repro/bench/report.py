@@ -8,10 +8,18 @@ reports against the paper's tables and figures.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
-__all__ = ["format_table", "format_series", "write_report", "results_dir"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "write_report",
+    "results_dir",
+    "write_bench_snapshot",
+    "bench_snapshot_payload",
+]
 
 
 def results_dir() -> str:
@@ -84,4 +92,69 @@ def write_report(name: str, text: str) -> str:
     with open(path, "w") as handle:
         handle.write(text)
     print(f"\n{text}\n[report written to {path}]")
+    return path
+
+
+def bench_snapshot_payload(result, obs=None) -> Dict[str, Any]:
+    """JSON-friendly snapshot of one steady-state run.
+
+    Combines the harness-level numbers with flight-recorder derivations
+    when *obs* carries flight records. Every figure is virtual-time —
+    nothing here reads a wall clock, so a re-run with the same seed
+    reproduces the snapshot byte for byte.
+    """
+    payload: Dict[str, Any] = {
+        "protocol": result.protocol,
+        "workload": result.workload,
+        "duration_s": result.duration,
+        "commits": result.commits,
+        "aborts": result.aborts,
+        "abort_rate": round(result.abort_rate, 6),
+        "throughput_tps": round(result.throughput, 2),
+        "p50_latency_us": round(result.p50_latency * 1e6, 3),
+        "p99_latency_us": round(result.p99_latency * 1e6, 3),
+    }
+    if obs is not None and getattr(obs.flight, "attempts", None):
+        from repro.obs.report import (
+            check_log_write_claim,
+            from_obs,
+            phase_latency_rows,
+            verb_accounting_rows,
+        )
+
+        run = from_obs(obs)
+        payload["phase_latency_us"] = {
+            f"{protocol}/{phase}": {
+                "n": n, "mean": float(mean), "p50": float(p50),
+                "p90": float(p90), "p99": float(p99),
+            }
+            for protocol, phase, n, mean, p50, p90, p99 in phase_latency_rows(run)
+        }
+        payload["verbs_per_commit"] = {
+            f"{protocol}/{phase}/{kind}": float(per_commit)
+            for protocol, phase, kind, _cat, _total, per_commit, _p50, _p99
+            in verb_accounting_rows(run)
+        }
+        payload["log_write_claim"] = [
+            {
+                "protocol": claim["protocol"],
+                "formula": claim["formula"],
+                "checked": claim["checked"],
+                "violations": claim["violations"],
+                "ok": claim["ok"],
+                "mean_log_writes": round(claim["mean_log_writes"], 4),
+                "mean_writes": round(claim["mean_writes"], 4),
+            }
+            for claim in check_log_write_claim(run)
+        ]
+    return payload
+
+
+def write_bench_snapshot(name: str, payload: Dict[str, Any]) -> str:
+    """Write ``BENCH_<name>.json`` under benchmarks/results/; returns path."""
+    path = os.path.join(results_dir(), f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[snapshot written to {path}]")
     return path

@@ -55,18 +55,26 @@ def _add_obs_flags(parser) -> None:
 
 
 def _build_obs(args):
-    """An Obs facade when ``--trace``/``--metrics`` ask for one, else None."""
-    if not (getattr(args, "trace", None) or getattr(args, "metrics", False)):
+    """An Obs facade when ``--trace``/``--metrics``/``--snapshot`` ask
+    for one, else None. The flight recorder rides along whenever the
+    facade exists — it is what the JSONL export, the obs-report
+    subcommand, and BENCH snapshots are derived from."""
+    wants = (
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", False)
+        or getattr(args, "snapshot", None)
+    )
+    if not wants:
         return None
     from repro.obs import Obs
 
-    if args.trace:
+    if getattr(args, "trace", None):
         # Open now so a bad path fails before the run, not after it.
         try:
             args._trace_handle = open(args.trace, "w")
         except OSError as error:
             raise SystemExit(f"cannot write trace to {args.trace!r}: {error}")
-    return Obs(trace=bool(args.trace))
+    return Obs(trace=bool(getattr(args, "trace", None)), flight=True)
 
 
 def _finish_obs(obs, args, commits=None) -> None:
@@ -75,13 +83,23 @@ def _finish_obs(obs, args, commits=None) -> None:
     if args.trace:
         with args._trace_handle as handle:
             if args.trace.endswith(".jsonl"):
-                obs.tracer.export_jsonl(handle)
+                # Full export: run meta + tracer events + flight records,
+                # the format ``repro obs-report`` consumes.
+                obs.export_jsonl(handle)
             else:
                 obs.tracer.export_chrome(handle)
-        print(f"trace: {len(obs.tracer)} events -> {args.trace}")
+        print(
+            f"trace: {len(obs.tracer)} events, "
+            f"{len(obs.flight.attempts)} flight records -> {args.trace}"
+        )
     if args.metrics:
         print()
         print(obs.report(commits if commits is not None else obs.commit_count()))
+        if obs.flight.attempts:
+            from repro.obs.report import from_obs, print_report
+
+            print()
+            print_report([from_obs(obs)])
 
 
 def _workload_factory(name: str, write_ratio: float) -> Callable:
@@ -120,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
     steady.add_argument("--protocol", default="pandora", choices=PROTOCOLS)
     steady.add_argument("--write-ratio", type=float, default=1.0)
     steady.add_argument("--duration-ms", type=float, default=20.0)
+    steady.add_argument(
+        "--snapshot", metavar="NAME", default=None,
+        help="write benchmarks/results/BENCH_<NAME>.json with the run's "
+             "throughput, latency, and flight-recorder accounting",
+    )
     _add_sanitize_flag(steady)
     _add_obs_flags(steady)
 
@@ -143,6 +166,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     latency.add_argument("--write-ratio", type=float, default=1.0)
     _add_obs_flags(latency)
+
+    report = sub.add_parser(
+        "obs-report",
+        help="render flight-recorder reports from --trace *.jsonl exports",
+    )
+    report.add_argument(
+        "paths", nargs="+", metavar="TRACE.jsonl",
+        help="one or more JSONL trace exports (repro <cmd> --trace out.jsonl)",
+    )
+    report.add_argument(
+        "--html", metavar="PATH", default=None,
+        help="also write a self-contained HTML report to PATH",
+    )
+    report.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any run violates the §4 logging claim",
+    )
     return parser
 
 
@@ -212,6 +252,10 @@ def _cmd_steady(args) -> int:
         sanitize=args.sanitize,
     )
     print(result.row())
+    if args.snapshot:
+        from repro.bench.report import bench_snapshot_payload, write_bench_snapshot
+
+        write_bench_snapshot(args.snapshot, bench_snapshot_payload(result, obs))
     _finish_obs(obs, args, commits=result.commits)
     return 0
 
@@ -268,6 +312,39 @@ def _cmd_recovery_latency(args) -> int:
     return 0
 
 
+def _cmd_obs_report(args) -> int:
+    from repro.obs.report import (
+        check_log_write_claim,
+        load_jsonl,
+        print_report,
+        render_html,
+    )
+
+    runs = []
+    for path in args.paths:
+        try:
+            runs.append(load_jsonl(path))
+        except OSError as error:
+            raise SystemExit(f"cannot read trace {path!r}: {error}")
+    print_report(runs)
+    if args.html:
+        html = render_html(runs)
+        try:
+            with open(args.html, "w") as handle:
+                handle.write(html)
+        except OSError as error:
+            raise SystemExit(f"cannot write HTML report to {args.html!r}: {error}")
+        print(f"html report -> {args.html}")
+    if args.check:
+        violations = sum(
+            claim["violations"] for run in runs for claim in check_log_write_claim(run)
+        )
+        if violations:
+            print(f"logging claim check FAILED: {violations} violation(s)")
+            return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -276,6 +353,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "steady": _cmd_steady,
         "failover": _cmd_failover,
         "recovery-latency": _cmd_recovery_latency,
+        "obs-report": _cmd_obs_report,
     }
     return handlers[args.command](args)
 

@@ -170,6 +170,19 @@ class Cluster:
         self._run_coordinator_loops = True
         self._retired_stats = CoordinatorStats()
 
+        # Run-level facts the report layer cannot derive from events
+        # (a no-op on the disabled obs path).
+        self.obs.set_run_meta(
+            protocol=config.protocol,
+            workload=type(workload).__name__,
+            seed=config.seed,
+            replication_degree=config.replication_degree,
+            log_servers=len(self.catalog.log_nodes(0)),
+            memory_nodes=config.memory_nodes,
+            compute_nodes=config.compute_nodes,
+            coordinators_per_node=config.coordinators_per_node,
+        )
+
     # -- construction helpers ---------------------------------------------------
 
     def _engine_factory(self):

@@ -28,8 +28,15 @@ run is identical with tracing on or off.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+import json
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
 
+from repro.obs.flight import (
+    FlightAttempt,
+    FlightRecorder,
+    NULL_FLIGHT,
+    NullFlightRecorder,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -53,6 +60,9 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "NullTracer",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
     "TXN_PHASES",
 ]
 
@@ -64,14 +74,24 @@ class TxnTrace:
     """Per-attempt phase recorder handed out by :meth:`Obs.txn_begin`.
 
     ``phase(name, now)`` closes the segment since the previous mark as
-    one span + one histogram sample; ``end(outcome, now)`` closes the
-    whole attempt span.
+    one span + one histogram sample (and one flight-record segment);
+    ``end(outcome, now, writes)`` closes the whole attempt span and
+    seals the flight record. ``focus(phase)`` re-asserts flight-record
+    attribution at a verb-posting site after a scheduling point; it is
+    free when the flight recorder is disabled.
     """
 
-    __slots__ = ("obs", "protocol", "pid", "tid", "txn_id", "start", "last")
+    __slots__ = ("obs", "protocol", "pid", "tid", "txn_id", "start", "last", "rec")
 
     def __init__(
-        self, obs: "Obs", protocol: str, pid: int, tid: int, txn_id: int, now: float
+        self,
+        obs: "Obs",
+        protocol: str,
+        pid: int,
+        tid: int,
+        txn_id: int,
+        now: float,
+        rec: Optional[FlightAttempt] = None,
     ) -> None:
         self.obs = obs
         self.protocol = protocol
@@ -80,16 +100,31 @@ class TxnTrace:
         self.txn_id = txn_id
         self.start = now
         self.last = now
+        self.rec = rec
+
+    def focus(self, phase: Optional[str] = None) -> None:
+        """Claim flight-record attribution for verbs posted next."""
+        self.obs.flight.focus(self.rec, phase)
+
+    def lock_event(self, event: str, table_id: int, slot: int, now: float) -> None:
+        """Record a lock conflict/steal event on the flight record."""
+        self.obs.flight.on_lock(self.rec, event, table_id, slot, now)
 
     def phase(self, name: str, now: float) -> None:
         """Close the current phase segment at virtual time *now*."""
         obs = self.obs
         obs.phase_histogram(self.protocol, name).add(now - self.last)
         obs.tracer.span("txn", name, self.last, now, pid=self.pid, tid=self.tid)
+        obs.flight.mark(self.rec, name, self.last, now)
         self.last = now
 
-    def end(self, outcome: str, now: float) -> None:
-        """Close the attempt span with its *outcome* label."""
+    def end(self, outcome: str, now: float, writes: int = 0) -> None:
+        """Close the attempt span with its *outcome* label.
+
+        The flight record seals on the *first* end() — a later
+        ``end("interrupted", ...)`` after in-place recovery keeps the
+        original outcome.
+        """
         self.obs.tracer.span(
             "txn",
             f"attempt:{outcome}",
@@ -99,17 +134,25 @@ class TxnTrace:
             tid=self.tid,
             args={"txn_id": self.txn_id, "protocol": self.protocol},
         )
+        self.obs.flight.close(self.rec, outcome, now, writes)
 
 
 class _NullTxnTrace:
     """No-op twin of :class:`TxnTrace` (the disabled path)."""
 
     __slots__ = ()
+    rec = None
+
+    def focus(self, phase: Optional[str] = None) -> None:
+        pass
+
+    def lock_event(self, event: str, table_id: int, slot: int, now: float) -> None:
+        pass
 
     def phase(self, name: str, now: float) -> None:
         pass
 
-    def end(self, outcome: str, now: float) -> None:
+    def end(self, outcome: str, now: float, writes: int = 0) -> None:
         pass
 
 
@@ -122,15 +165,31 @@ class Obs:
     ``trace=False`` keeps the labeled counters/histograms but swaps the
     tracer for the no-op :data:`~repro.obs.trace.NULL_TRACER`;
     ``trace_verbs=True`` additionally records one instant per posted
-    verb (off by default — a steady run posts hundreds of thousands).
+    verb (off by default — a steady run posts hundreds of thousands);
+    ``flight=True`` attaches a per-transaction
+    :class:`~repro.obs.flight.FlightRecorder` (verb-level attempt
+    accounting for the report layer).
     """
 
     enabled = True
 
-    def __init__(self, trace: bool = True, trace_verbs: bool = False) -> None:
+    def __init__(
+        self, trace: bool = True, trace_verbs: bool = False, flight: bool = False
+    ) -> None:
         self.metrics = MetricsRegistry()
         self.tracer: Tracer = Tracer() if trace else NULL_TRACER  # type: ignore[assignment]
         self.trace_verbs = trace_verbs and trace
+        self.flight: FlightRecorder = (  # type: ignore[assignment]
+            FlightRecorder() if flight else NULL_FLIGHT
+        )
+        # Run-level facts (protocol, seed, replication degree, ...) the
+        # report layer needs but events don't carry; populated by the
+        # cluster builder, exported as the JSONL meta line.
+        self.run_meta: Dict[str, Any] = {}
+
+    def set_run_meta(self, **meta: Any) -> None:
+        """Attach run-level metadata (cluster shape, seed, workload)."""
+        self.run_meta.update(meta)
         # Hot-path metric instances, cached per label set so recording
         # is one method call (see MetricsRegistry docstring).
         self._verb_counters: Dict[Tuple[str, int], Counter] = {}
@@ -192,10 +251,17 @@ class Obs:
         return histogram
 
     def txn_begin(
-        self, protocol: str, node_id: int, coord_id: int, txn_id: int, now: float
+        self,
+        protocol: str,
+        node_id: int,
+        coord_id: int,
+        txn_id: int,
+        now: float,
+        attempt: int = 1,
     ) -> TxnTrace:
         """Start recording one transaction attempt."""
-        return TxnTrace(self, protocol, node_id, coord_id, txn_id, now)
+        rec = self.flight.begin(protocol, node_id, coord_id, txn_id, attempt, now)
+        return TxnTrace(self, protocol, node_id, coord_id, txn_id, now, rec)
 
     def on_outcome(self, protocol: str, outcome: str) -> None:
         """Count a final per-attempt outcome (commit / abort reason)."""
@@ -270,6 +336,31 @@ class Obs:
             title="transaction phase latency",
         )
 
+    def export_jsonl(self, path_or_file: Union[str, IO[str]]) -> None:
+        """Write the full run as JSONL: meta line, trace events, flights.
+
+        Line types are discriminated by ``ph``: ``"meta"`` (one line of
+        run metadata), ``"X"``/``"i"`` (tracer spans/instants), and
+        ``"flight"`` (one per transaction attempt). This is the file
+        ``repro obs-report`` consumes.
+        """
+
+        def dump(handle: IO[str]) -> None:
+            meta: Dict[str, Any] = {"ph": "meta"}
+            meta.update(self.run_meta)
+            if self.flight.unattributed:
+                meta["unattributed"] = dict(self.flight.unattributed)
+            handle.write(json.dumps(meta))
+            handle.write("\n")
+            self.tracer.export_jsonl(handle)
+            self.flight.export_jsonl(handle)
+
+        if hasattr(path_or_file, "write"):
+            dump(path_or_file)  # type: ignore[arg-type]
+        else:
+            with open(path_or_file, "w") as handle:
+                dump(handle)
+
     def report(self, commits: Optional[int] = None) -> str:
         """The ``--metrics`` report: verb costs + phase latencies."""
         sections = [self.verb_table(commits), self.phase_table()]
@@ -305,6 +396,11 @@ class NullObs:
     metrics = None  # replaced below with a no-op registry
     tracer = NULL_TRACER
     trace_verbs = False
+    flight = NULL_FLIGHT
+    run_meta: Dict[str, Any] = {}
+
+    def set_run_meta(self, **meta) -> None:
+        pass
 
     def on_verb_post(self, kind, compute_id, node_id, wire_bytes, now) -> None:
         pass
@@ -315,7 +411,9 @@ class NullObs:
     def phase_histogram(self, protocol, phase):
         return NULL_HISTOGRAM
 
-    def txn_begin(self, protocol, node_id, coord_id, txn_id, now) -> _NullTxnTrace:
+    def txn_begin(
+        self, protocol, node_id, coord_id, txn_id, now, attempt=1
+    ) -> _NullTxnTrace:
         return NULL_TXN_TRACE
 
     def on_outcome(self, protocol, outcome) -> None:
@@ -325,6 +423,9 @@ class NullObs:
         return 0
 
     def sample_kernel(self, sim) -> None:
+        pass
+
+    def export_jsonl(self, path_or_file) -> None:
         pass
 
     def report(self, commits: Optional[int] = None) -> str:

@@ -94,6 +94,10 @@ class NullHistogram:
         pass
 
     def percentile(self, pct: float) -> float:
+        # Same contract as Histogram.percentile: out-of-range queries
+        # are caller bugs and must not pass silently on the disabled path.
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile out of range: {pct}")
         return 0.0
 
 
@@ -104,6 +108,35 @@ NULL_HISTOGRAM = NullHistogram()
 
 def _key(name: str, labels: Dict[str, Any]) -> MetricKey:
     return (name, tuple(sorted(labels.items())))
+
+
+def _prom_name(name: str) -> str:
+    """Dotted internal names → Prometheus-legal metric names."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_escape(value: Any) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: Tuple[Tuple[str, Any], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{label}="{_prom_escape(value)}"' for label, value in labels)
+    return "{" + inner + "}"
+
+
+def _prom_value(value: float) -> str:
+    """Float rendering: integral values without the trailing .0."""
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(value)
 
 
 def _render_key(key: MetricKey) -> str:
@@ -216,6 +249,50 @@ class MetricsRegistry:
                 if key[0].startswith(prefix):
                     found.append((key, metric))
         return sorted(found, key=lambda pair: pair[0])
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (format 0.0.4) of the registry.
+
+        Metric names have dots replaced by underscores; label values
+        are escaped per the exposition format (backslash, double quote,
+        newline). Histograms emit cumulative ``_bucket{le=...}`` lines
+        for every non-empty log bucket plus ``+Inf``, ``_sum``
+        (reconstructed as mean x count), and ``_count``.
+        """
+        lines: List[str] = []
+
+        def grouped(family: Dict[MetricKey, Any]):
+            by_name: Dict[str, List[Tuple[MetricKey, Any]]] = {}
+            for key, metric in sorted(family.items()):
+                by_name.setdefault(_prom_name(key[0]), []).append((key, metric))
+            return sorted(by_name.items())
+
+        for name, members in grouped(self.counters):
+            lines.append(f"# TYPE {name} counter")
+            for key, counter in members:
+                lines.append(f"{name}{_prom_labels(key[1])} {counter.value}")
+        for name, members in grouped(self.gauges):
+            lines.append(f"# TYPE {name} gauge")
+            for key, gauge in members:
+                lines.append(f"{name}{_prom_labels(key[1])} {_prom_value(gauge.value)}")
+        for name, members in grouped(self.histograms):
+            lines.append(f"# TYPE {name} histogram")
+            for key, histogram in members:
+                labels = key[1]
+                running = 0
+                for index, bucket_count in enumerate(histogram._counts):
+                    if not bucket_count:
+                        continue
+                    running += bucket_count
+                    _low, high = histogram._bucket_bounds(index)
+                    le = _prom_labels(labels + (("le", _prom_value(high)),))
+                    lines.append(f"{name}_bucket{le} {running}")
+                inf = _prom_labels(labels + (("le", "+Inf"),))
+                lines.append(f"{name}_bucket{inf} {histogram.count}")
+                total = histogram.stats.mean * histogram.count
+                lines.append(f"{name}_sum{_prom_labels(labels)} {_prom_value(total)}")
+                lines.append(f"{name}_count{_prom_labels(labels)} {histogram.count}")
+        return "\n".join(lines) + "\n" if lines else ""
 
     def render_table(self, title: str = "metrics") -> str:
         """Fixed-width text dump of every metric in the registry."""

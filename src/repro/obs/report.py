@@ -1,0 +1,609 @@
+"""Evaluation reports derived from flight records and trace events.
+
+This is the analysis layer over :mod:`repro.obs.flight` and the tracer:
+it converts raw per-attempt records into the tables the paper's
+evaluation prints —
+
+* **per-phase latency percentiles** (exact, computed from the recorded
+  phase segments rather than log-bucketed histograms),
+* **round-trip / verb-count accounting per protocol**, including a
+  machine check of the §4 claim that Pandora spends exactly f+1 log
+  writes per committed transaction while FORD and the traditional
+  scheme scale with the number of written objects,
+* **abort attribution** (lock conflict vs validation failure vs
+  application logic vs fault), plus PILL lock-event counts
+  (steals, conflicts),
+* **recovery timelines** (heartbeat-miss → link-revoke →
+  log-region-read → roll-forward/back → truncate → notify with
+  per-step durations).
+
+Inputs come either live from an :class:`~repro.obs.Obs` (bench
+harness) or from the JSONL export (``repro obs-report file.jsonl``);
+both normalize into :class:`RunData`. Renderers produce an aligned
+terminal report and a self-contained single-file HTML report.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.flight import FlightAttempt
+from repro.obs.metrics import render_rows
+from repro.rdma.verbs import VERB_CATEGORIES
+from repro.util.stats import percentile_of_sorted
+
+__all__ = [
+    "RunData",
+    "from_obs",
+    "load_jsonl",
+    "phase_latency_rows",
+    "verb_accounting_rows",
+    "check_log_write_claim",
+    "abort_attribution",
+    "lock_event_counts",
+    "recovery_timelines",
+    "render_terminal",
+    "render_html",
+    "print_report",
+    "ABORT_CATEGORIES",
+]
+
+# Display order for phases (flight records may add "recover").
+PHASE_ORDER = ("execute", "lock", "validate", "log", "commit", "unlock", "abort", "recover")
+
+# Abort-attribution codes: reason string -> coarse category. The
+# categories match the paper's discussion — lock conflicts (§3.1.2,
+# what PILL stealing reduces), validation failures (§2.3 OCC), aborts
+# the application asked for, and fault-induced outcomes (§3.2).
+ABORT_CATEGORIES = {
+    "lock_conflict": "lock-conflict",
+    "read_locked": "lock-conflict",
+    "validation_version": "validation",
+    "validation_locked": "validation",
+    "upgrade_version": "validation",
+    "duplicate_key": "application",
+    "not_found": "application",
+    "user_abort": "application",
+    "memory_reconfiguration": "fault",
+    "link_revoked": "fault",
+}
+
+# Expected committed-transaction log-write cost per protocol (§4).
+# f+1 == the number of fixed log servers; R == replication degree.
+CLAIM_FORMULAS = {
+    "pandora": "f+1 per txn (0 when read-only)",
+    "tradlog": "(f+1) x (writes+1)",
+    "ford": "R x writes",
+    "baseline": "R x writes",
+}
+
+
+class RunData:
+    """One run's worth of observability data, source-agnostic."""
+
+    def __init__(
+        self,
+        meta: Optional[Dict[str, Any]] = None,
+        flights: Optional[List[FlightAttempt]] = None,
+        events: Optional[List[Dict[str, Any]]] = None,
+        source: str = "",
+    ) -> None:
+        self.meta = meta or {}
+        self.flights = flights or []
+        # Tracer events normalized to dicts (ph/cat/name/ts/dur/pid/args).
+        self.events = events or []
+        self.source = source
+
+    def protocols(self) -> List[str]:
+        """Protocol names present, meta first, then flight-observed."""
+        seen = []
+        if self.meta.get("protocol"):
+            seen.append(self.meta["protocol"])
+        for record in self.flights:
+            if record.protocol not in seen:
+                seen.append(record.protocol)
+        return seen
+
+
+def from_obs(obs, source: str = "") -> RunData:
+    """Build RunData directly from a live Obs instance."""
+    events = []
+    for phase, category, name, ts, dur, pid, tid, args in obs.tracer.events:
+        event: Dict[str, Any] = {
+            "ph": phase, "cat": category, "name": name,
+            "ts": ts, "dur": dur, "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    meta = dict(obs.run_meta)
+    if obs.flight.unattributed:
+        meta["unattributed"] = dict(obs.flight.unattributed)
+    return RunData(
+        meta=meta,
+        flights=list(obs.flight.attempts),
+        events=events,
+        source=source,
+    )
+
+
+def load_jsonl(path: str) -> RunData:
+    """Parse one ``obs.export_jsonl`` file into RunData."""
+    run = RunData(source=path)
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            kind = payload.get("ph")
+            if kind == "meta":
+                meta = dict(payload)
+                meta.pop("ph", None)
+                run.meta.update(meta)
+            elif kind == "flight":
+                run.flights.append(FlightAttempt.from_json(payload))
+            else:
+                run.events.append(payload)
+    return run
+
+
+# -- derivations -------------------------------------------------------------
+
+
+def _committed(run: RunData, protocol: str) -> List[FlightAttempt]:
+    return [
+        record
+        for record in run.flights
+        if record.protocol == protocol
+        and record.outcome is not None
+        and record.outcome.startswith("commit")
+    ]
+
+
+def phase_latency_rows(run: RunData) -> List[Tuple[Any, ...]]:
+    """(protocol, phase, n, mean us, p50 us, p90 us, p99 us) rows.
+
+    Exact percentiles over the recorded phase segments — unlike the
+    metrics-registry histograms these are not bucket-interpolated.
+    """
+    samples: Dict[Tuple[str, str], List[float]] = {}
+    for record in run.flights:
+        for name, start, end in record.phases:
+            samples.setdefault((record.protocol, name), []).append(end - start)
+    order = {phase: index for index, phase in enumerate(PHASE_ORDER)}
+    rows = []
+    for (protocol, phase), values in sorted(
+        samples.items(), key=lambda item: (item[0][0], order.get(item[0][1], 99))
+    ):
+        values.sort()
+        rows.append(
+            (
+                protocol,
+                phase,
+                len(values),
+                f"{sum(values) / len(values) * 1e6:.2f}",
+                f"{percentile_of_sorted(values, 50) * 1e6:.2f}",
+                f"{percentile_of_sorted(values, 90) * 1e6:.2f}",
+                f"{percentile_of_sorted(values, 99) * 1e6:.2f}",
+            )
+        )
+    return rows
+
+
+def verb_accounting_rows(run: RunData) -> List[Tuple[Any, ...]]:
+    """Per-protocol round-trip accounting over committed transactions.
+
+    One row per (protocol, phase, verb kind): total posts, posts per
+    committed txn, category, and the p50/p99 completion latency of
+    signaled posts. Round trips == signaled verbs (unsignaled posts
+    never produce a completion the coordinator waits on).
+    """
+    rows = []
+    for protocol in run.protocols():
+        committed = _committed(run, protocol)
+        if not committed:
+            continue
+        counts: Dict[Tuple[str, str], int] = {}
+        latencies: Dict[Tuple[str, str], List[float]] = {}
+        for record in committed:
+            for kind, _node, phase, _ts, latency, _ok in record.verbs:
+                key = (phase, kind)
+                counts[key] = counts.get(key, 0) + 1
+                if latency >= 0:
+                    latencies.setdefault(key, []).append(latency)
+        order = {phase: index for index, phase in enumerate(PHASE_ORDER)}
+        for (phase, kind), total in sorted(
+            counts.items(), key=lambda item: (order.get(item[0][0], 99), item[0][1])
+        ):
+            lat = sorted(latencies.get((phase, kind), []))
+            rows.append(
+                (
+                    protocol,
+                    phase,
+                    kind,
+                    VERB_CATEGORIES.get(kind, "other"),
+                    total,
+                    f"{total / len(committed):.2f}",
+                    f"{percentile_of_sorted(lat, 50) * 1e6:.2f}" if lat else "-",
+                    f"{percentile_of_sorted(lat, 99) * 1e6:.2f}" if lat else "-",
+                )
+            )
+    return rows
+
+
+def _expected_log_writes(protocol: str, writes: int, log_servers: int, replication: int) -> int:
+    if writes == 0:
+        # Read-only transactions log nothing under every scheme.
+        return 0
+    if protocol == "pandora":
+        return log_servers
+    if protocol == "tradlog":
+        # One lock-intent record per written object plus the coalesced
+        # undo record, each to the f+1 log servers.
+        return log_servers * (writes + 1)
+    # ford / baseline: one undo record per object to each of its replicas.
+    return replication * writes
+
+
+def check_log_write_claim(run: RunData) -> List[Dict[str, Any]]:
+    """Machine-check the §4 logging claim per protocol in *run*.
+
+    For every committed attempt, compares the recorded ``write_log``
+    posts against the protocol's expected cost. Returns one result dict
+    per protocol: ``{"protocol", "formula", "checked", "violations",
+    "ok", "mean_log_writes", "mean_writes", "detail"}``.
+    """
+    log_servers = int(run.meta.get("log_servers", 0))
+    replication = int(run.meta.get("replication_degree", 0))
+    results = []
+    for protocol in run.protocols():
+        committed = _committed(run, protocol)
+        if not committed:
+            continue
+        violations = []
+        total_log = 0
+        total_writes = 0
+        for record in committed:
+            observed = record.log_writes()
+            total_log += observed
+            total_writes += record.writes
+            expected = _expected_log_writes(
+                protocol, record.writes, log_servers, replication
+            )
+            if observed != expected:
+                violations.append(
+                    (record.coord_id, record.txn_id, record.attempt, record.writes,
+                     observed, expected)
+                )
+        detail = ""
+        if violations:
+            coord, txn, attempt, writes, observed, expected = violations[0]
+            detail = (
+                f"first: coord={coord} txn={txn} attempt={attempt} "
+                f"writes={writes} observed={observed} expected={expected}"
+            )
+        results.append(
+            {
+                "protocol": protocol,
+                "formula": CLAIM_FORMULAS.get(protocol, "R x writes"),
+                "checked": len(committed),
+                "violations": len(violations),
+                "ok": not violations,
+                "mean_log_writes": total_log / len(committed),
+                "mean_writes": total_writes / len(committed),
+                "detail": detail,
+            }
+        )
+    return results
+
+
+def abort_attribution(run: RunData) -> List[Tuple[str, str, str, int]]:
+    """(protocol, category, outcome, count) rows for non-commit attempts.
+
+    Categories: lock-conflict, validation, application, fault, open
+    (record never closed — the run ended with the attempt in flight,
+    or its coordinator crashed mid-attempt).
+    """
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for record in run.flights:
+        outcome = record.outcome
+        if outcome is None:
+            key = (record.protocol, "open", "(open)")
+        elif outcome.startswith("commit"):
+            continue
+        elif outcome.startswith("abort:"):
+            reason = outcome.split(":", 1)[1]
+            key = (record.protocol, ABORT_CATEGORIES.get(reason, "other"), reason)
+        else:
+            # "fenced" / "interrupted": the fault machinery cut in.
+            key = (record.protocol, "fault", outcome)
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        (protocol, category, outcome, count)
+        for (protocol, category, outcome), count in sorted(counts.items())
+    ]
+
+
+def lock_event_counts(run: RunData) -> List[Tuple[str, str, int]]:
+    """(protocol, lock event, count) rows: conflicts, PILL steals.
+
+    Note: protocols with anonymous lock words cannot distinguish a
+    stray lock from a live owner, so waits on stray locks surface here
+    as repeated ``conflict`` events rather than ``steal``.
+    """
+    counts: Dict[Tuple[str, str], int] = {}
+    for record in run.flights:
+        for event, _table, _slot, _ts in record.locks:
+            key = (record.protocol, event)
+            counts[key] = counts.get(key, 0) + 1
+    return [(protocol, event, count) for (protocol, event), count in sorted(counts.items())]
+
+
+def recovery_timelines(run: RunData) -> List[Tuple[int, List[Tuple[str, float, float]]]]:
+    """Per-failed-node recovery step sequences from "recovery" spans.
+
+    Returns ``[(node_id, [(step, start, duration), ...]), ...]`` with
+    steps in virtual-time order — the heartbeat-miss → link-revoke →
+    log-read → roll-forward/back → truncate → notify chain of §3.2.
+    """
+    grouped: Dict[int, List[Tuple[str, float, float]]] = {}
+    for event in run.events:
+        if event.get("cat") != "recovery" or event.get("ph") != "X":
+            continue
+        grouped.setdefault(int(event.get("pid", 0)), []).append(
+            (event["name"], float(event["ts"]), float(event.get("dur", 0.0)))
+        )
+    timelines = []
+    for node_id in sorted(grouped):
+        steps = sorted(grouped[node_id], key=lambda step: (step[1], step[1] + step[2]))
+        timelines.append((node_id, steps))
+    return timelines
+
+
+# -- renderers ---------------------------------------------------------------
+
+
+def _meta_line(run: RunData) -> str:
+    meta = run.meta
+    parts = []
+    for key in (
+        "protocol", "workload", "seed", "replication_degree", "log_servers",
+        "memory_nodes", "compute_nodes", "coordinators_per_node",
+    ):
+        if key in meta:
+            parts.append(f"{key}={meta[key]}")
+    label = run.source or "(live)"
+    return f"run {label}: " + " ".join(parts) if parts else f"run {label}"
+
+
+def _claim_rows(results: List[Dict[str, Any]]) -> List[Tuple[Any, ...]]:
+    rows = []
+    for result in results:
+        rows.append(
+            (
+                result["protocol"],
+                result["formula"],
+                result["checked"],
+                f"{result['mean_writes']:.2f}",
+                f"{result['mean_log_writes']:.2f}",
+                result["violations"],
+                "OK" if result["ok"] else f"FAIL ({result['detail']})",
+            )
+        )
+    return rows
+
+
+def render_terminal(runs: Sequence[RunData]) -> str:
+    """Aligned plain-text report over one or more runs."""
+    sections: List[str] = ["transaction flight report", "=" * 25, ""]
+    for run in runs:
+        sections.append(_meta_line(run))
+        sections.append("")
+        rows = phase_latency_rows(run)
+        if rows:
+            sections.append(
+                render_rows(
+                    ["protocol", "phase", "n", "mean (us)", "p50 (us)", "p90 (us)", "p99 (us)"],
+                    rows,
+                    title="phase latency (exact percentiles)",
+                )
+            )
+        rows = verb_accounting_rows(run)
+        if rows:
+            sections.append(
+                render_rows(
+                    ["protocol", "phase", "verb", "cat", "total", "per commit",
+                     "p50 (us)", "p99 (us)"],
+                    rows,
+                    title="round-trip / verb accounting (committed txns)",
+                )
+            )
+        claims = check_log_write_claim(run)
+        if claims:
+            sections.append(
+                render_rows(
+                    ["protocol", "expected log writes", "txns", "mean writes",
+                     "mean log writes", "violations", "status"],
+                    _claim_rows(claims),
+                    title="logging claim check (paper §4: f+1 per txn vs per object)",
+                )
+            )
+        rows = abort_attribution(run)
+        if rows:
+            sections.append(
+                render_rows(
+                    ["protocol", "category", "outcome", "count"],
+                    rows,
+                    title="abort attribution",
+                )
+            )
+        rows = lock_event_counts(run)
+        if rows:
+            sections.append(
+                render_rows(
+                    ["protocol", "lock event", "count"], rows, title="lock events"
+                )
+            )
+        timelines = recovery_timelines(run)
+        for node_id, steps in timelines:
+            step_rows = [
+                (name, f"{start * 1e3:.3f}", f"{duration * 1e6:.1f}")
+                for name, start, duration in steps
+            ]
+            sections.append(
+                render_rows(
+                    ["step", "start (ms)", "duration (us)"],
+                    step_rows,
+                    title=f"recovery timeline: node {node_id}",
+                )
+            )
+        unattributed = run.meta.get("unattributed")
+        if unattributed:
+            sections.append(
+                render_rows(
+                    ["verb", "count"], sorted(unattributed.items()),
+                    title="unattributed verbs (system traffic)",
+                )
+            )
+    return "\n".join(sections)
+
+
+_HTML_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.meta { color: #555; font-size: 0.85rem; margin-bottom: 1rem; }
+table { border-collapse: collapse; font-size: 0.85rem; margin: 0.5rem 0; }
+th, td { padding: 0.25rem 0.7rem; text-align: left;
+         border-bottom: 1px solid #ddd; }
+th { background: #f0f0f5; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.ok { color: #0a7a2f; font-weight: 600; } .fail { color: #c0182b; font-weight: 600; }
+.bar { display: inline-block; height: 0.7rem; background: #4c6ef5;
+       vertical-align: middle; border-radius: 2px; }
+.barlabel { font-size: 0.75rem; color: #555; margin-left: 0.3rem; }
+"""
+
+
+def _html_escape(value: Any) -> str:
+    return (
+        str(value)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _html_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    head = "".join(f"<th>{_html_escape(header)}</th>" for header in headers)
+    body = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            text = _html_escape(cell)
+            css = ' class="num"' if isinstance(cell, (int, float)) else ""
+            if text == "OK":
+                css = ' class="ok"'
+            elif text.startswith("FAIL"):
+                css = ' class="fail"'
+            cells.append(f"<td{css}>{text}</td>")
+        body.append("<tr>" + "".join(cells) + "</tr>")
+    return f"<table><tr>{head}</tr>{''.join(body)}</table>"
+
+
+def _html_phase_bars(run: RunData) -> str:
+    """Mean phase-latency breakdown per protocol as inline CSS bars."""
+    means: Dict[str, Dict[str, float]] = {}
+    for protocol, phase, _n, mean, _p50, _p90, _p99 in phase_latency_rows(run):
+        means.setdefault(protocol, {})[phase] = float(mean)
+    if not means:
+        return ""
+    scale = max(max(phases.values()) for phases in means.values()) or 1.0
+    parts = []
+    for protocol, phases in sorted(means.items()):
+        rows = []
+        for phase in PHASE_ORDER:
+            if phase not in phases:
+                continue
+            width = max(1, int(phases[phase] / scale * 400))
+            rows.append(
+                f"<tr><td>{_html_escape(phase)}</td>"
+                f'<td><span class="bar" style="width:{width}px"></span>'
+                f'<span class="barlabel">{phases[phase]:.2f} us</span></td></tr>'
+            )
+        parts.append(
+            f"<h3>{_html_escape(protocol)}</h3><table>{''.join(rows)}</table>"
+        )
+    return "<h2>Phase breakdown (mean)</h2>" + "".join(parts)
+
+
+def render_html(runs: Sequence[RunData], title: str = "Transaction flight report") -> str:
+    """Self-contained single-file HTML report (inline CSS, no deps)."""
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{_html_escape(title)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>{_html_escape(title)}</h1>",
+    ]
+    for run in runs:
+        parts.append(f'<p class="meta">{_html_escape(_meta_line(run))}</p>')
+        rows = phase_latency_rows(run)
+        if rows:
+            parts.append("<h2>Phase latency (exact percentiles)</h2>")
+            parts.append(
+                _html_table(
+                    ["protocol", "phase", "n", "mean (us)", "p50 (us)", "p90 (us)",
+                     "p99 (us)"],
+                    rows,
+                )
+            )
+        parts.append(_html_phase_bars(run))
+        rows = verb_accounting_rows(run)
+        if rows:
+            parts.append("<h2>Round-trip / verb accounting (committed txns)</h2>")
+            parts.append(
+                _html_table(
+                    ["protocol", "phase", "verb", "cat", "total", "per commit",
+                     "p50 (us)", "p99 (us)"],
+                    rows,
+                )
+            )
+        claims = check_log_write_claim(run)
+        if claims:
+            parts.append("<h2>Logging claim check (&sect;4)</h2>")
+            parts.append(
+                _html_table(
+                    ["protocol", "expected log writes", "txns", "mean writes",
+                     "mean log writes", "violations", "status"],
+                    _claim_rows(claims),
+                )
+            )
+        rows = abort_attribution(run)
+        if rows:
+            parts.append("<h2>Abort attribution</h2>")
+            parts.append(_html_table(["protocol", "category", "outcome", "count"], rows))
+        rows = lock_event_counts(run)
+        if rows:
+            parts.append("<h2>Lock events</h2>")
+            parts.append(_html_table(["protocol", "lock event", "count"], rows))
+        for node_id, steps in recovery_timelines(run):
+            parts.append(f"<h2>Recovery timeline: node {node_id}</h2>")
+            parts.append(
+                _html_table(
+                    ["step", "start (ms)", "duration (us)"],
+                    [
+                        (name, f"{start * 1e3:.3f}", f"{duration * 1e6:.1f}")
+                        for name, start, duration in steps
+                    ],
+                )
+            )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def print_report(runs: Sequence[RunData]) -> None:
+    """Print the terminal report (simlint-allowlisted output site)."""
+    print(render_terminal(runs))

@@ -186,5 +186,8 @@ class NullTracer:
     def instants(self, category=None) -> List[TraceEvent]:
         return []
 
+    def export_jsonl(self, path_or_file) -> None:
+        pass
+
 
 NULL_TRACER = NullTracer()

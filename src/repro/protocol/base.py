@@ -63,6 +63,7 @@ class Txn:
         "result",
         "start_time",
         "apply_done",
+        "trace",
     )
 
     def __init__(self, engine: "ProtocolEngine", txn_id: int) -> None:
@@ -78,6 +79,9 @@ class Txn:
         self.start_time = engine.sim.now
         # True once the commit phase applied updates to every replica.
         self.apply_done = False
+        # Obs handle for this attempt; lock subprocesses use it to
+        # attribute their verbs (run_attempt swaps in the real one).
+        self.trace = NULL_TXN_TRACE
 
     # -- application-facing operations (BeginTx is implicit) ---------------
 
@@ -328,7 +332,9 @@ class ProtocolEngine:
 
     # -- top-level attempt -------------------------------------------------------
 
-    def run_attempt(self, logic, txn_id: int) -> Generator[Event, Any, TxnOutcome]:
+    def run_attempt(
+        self, logic, txn_id: int, attempt: int = 1
+    ) -> Generator[Event, Any, TxnOutcome]:
         """Execute one attempt of *logic*; returns a TxnOutcome."""
         tx = Txn(self, txn_id)
         self.current_tx = tx
@@ -338,7 +344,9 @@ class ProtocolEngine:
             self.coord_id,
             txn_id,
             tx.start_time,
+            attempt,
         )
+        tx.trace = trace
         try:
             generated = logic(tx)
             if hasattr(generated, "__next__"):
@@ -386,7 +394,7 @@ class ProtocolEngine:
                 yield checkpoint
 
             yield from self._commit(tx, trace)
-            trace.end("commit", self.sim.now)
+            trace.end("commit", self.sim.now, writes=len(tx.write_set))
             return TxnOutcome(
                 committed=True,
                 value=tx.result,
@@ -397,7 +405,7 @@ class ProtocolEngine:
         except TxnAbort as abort:
             yield from self._abort(tx, abort.reason)
             trace.phase("abort", self.sim.now)
-            trace.end(f"abort:{abort.reason}", self.sim.now)
+            trace.end(f"abort:{abort.reason}", self.sim.now, writes=len(tx.write_set))
             return TxnOutcome(
                 committed=False,
                 reason=abort.reason,
@@ -408,13 +416,13 @@ class ProtocolEngine:
         except LinkRevokedError:
             # We were fenced by active-link termination (Cor1); the
             # coordinator-level handler decides what to do next.
-            trace.end("fenced", self.sim.now)
+            trace.end("fenced", self.sim.now, writes=len(tx.write_set))
             raise
         except RdmaError:
             # A replica went down mid-attempt; apply the compute-side
             # decision rule of §3.2.5.
             outcome = yield from self.recover_interrupted(tx)
-            trace.end("interrupted", self.sim.now)
+            trace.end("interrupted", self.sim.now, writes=len(tx.write_set))
             return outcome
         finally:
             self.current_tx = None
@@ -435,13 +443,16 @@ class ProtocolEngine:
         self, tx: Txn, table_id: int, key: Hashable, slot: int
     ) -> Generator[Event, Any, ReadEntry]:
         primary = self.placement.primary(table_id, slot)
+        tx.trace.focus("execute")
         yield from self._resolve_address(table_id, slot, primary)
+        tx.trace.focus()
         lock, version, present, value = yield self.verbs.read_object(
             primary, table_id, slot
         )
         if is_locked(lock) and not self._is_stray(lock):
             # The execution phase fails if an accessed object is
             # already locked (§2.3); PILL lets reads pass stray locks.
+            tx.trace.lock_event("read_locked", table_id, slot, self.sim.now)
             raise TxnAbort(AbortReason.READ_LOCKED, f"table {table_id} slot {slot}")
         entry = ReadEntry(
             table_id=table_id,
@@ -459,6 +470,7 @@ class ProtocolEngine:
         self, tx: Txn, table_id: int, to_fetch
     ) -> Generator[Event, Any, List]:
         """Post many reads together; one round trip per memory node."""
+        tx.trace.focus("execute")
         posted = []
         for index, key, slot in to_fetch:
             primary = self.placement.primary(table_id, slot)
@@ -469,6 +481,7 @@ class ProtocolEngine:
         for index, key, slot, primary, event in posted:
             lock, version, present, value = yield event
             if is_locked(lock) and not self._is_stray(lock):
+                tx.trace.lock_event("read_locked", table_id, slot, self.sim.now)
                 raise TxnAbort(
                     AbortReason.READ_LOCKED, f"table {table_id} slot {slot}"
                 )
@@ -499,12 +512,14 @@ class ProtocolEngine:
     def _acquire_inner(self, tx: Txn, intent: WriteIntent) -> Generator[Event, Any, None]:
         table_id, slot = intent.table_id, intent.slot
         primary = self.placement.primary(table_id, slot)
+        tx.trace.focus("lock")
         yield from self._resolve_address(table_id, slot, primary)
         desired = self._lock_word()
 
         if self.pre_lock_logging:
             # Traditional scheme: record lock ownership *before* taking
             # the lock, costing one full extra round trip (§6.1).
+            tx.trace.focus("log")
             yield from self._write_lock_log(intent, desired)
 
         posted_speculatively = False
@@ -519,6 +534,7 @@ class ProtocolEngine:
             self._post_object_log(tx, intent, speculative=True)
             posted_speculatively = True
 
+        tx.trace.focus("lock")
         cas_event = self.verbs.cas_lock(primary, table_id, slot, 0, desired)
         read_event = self.verbs.read_object(primary, table_id, slot)
         checkpoint = self._cp("lock_posted")
@@ -531,17 +547,22 @@ class ProtocolEngine:
             if self._is_stray(old_word):
                 # PILL steal: the owner is a recovered-failed
                 # coordinator; a second CAS takes the lock over (§3.1.2).
+                tx.trace.lock_event("steal", table_id, slot, self.sim.now)
+                tx.trace.focus("lock")
                 second = yield self.verbs.cas_lock(
                     primary, table_id, slot, old_word, desired
                 )
                 if second != old_word:
+                    tx.trace.lock_event("steal_lost", table_id, slot, self.sim.now)
                     intent.lock_result = (False, AbortReason.LOCK_CONFLICT)
                     return
                 self.coordinator.stats.locks_stolen += 1
+                tx.trace.focus("lock")
                 lock, version, present, value = yield self.verbs.read_object(
                     primary, table_id, slot
                 )
             else:
+                tx.trace.lock_event("conflict", table_id, slot, self.sim.now)
                 intent.lock_result = (False, AbortReason.LOCK_CONFLICT)
                 return
 
@@ -602,6 +623,7 @@ class ProtocolEngine:
         posted before the CAS outcome is known, so its undo image
         comes from the transaction's earlier read of the object.
         """
+        tx.trace.focus("log")
         if speculative:
             cached = tx.read_set.get((intent.table_id, intent.slot))
             if cached is None:
@@ -663,6 +685,7 @@ class ProtocolEngine:
         (lock-to-log order); the decision point waits for the acks."""
         if not self.coalesced_logging or not tx.write_set:
             return
+        tx.trace.focus("log")
         entries = tuple(
             intent.log_entry()
             for intent in tx.write_set.values()
@@ -706,6 +729,7 @@ class ProtocolEngine:
         for entry in to_validate:
             node = self.placement.primary(entry.table_id, entry.slot)
             groups.setdefault(node, []).append(entry)
+        tx.trace.focus("validate")
         posted = []
         for node, entries in groups.items():
             addresses = [(entry.table_id, entry.slot) for entry in entries]
@@ -756,6 +780,7 @@ class ProtocolEngine:
         apply_events: List[Event] = []
         touched: Dict[int, Tuple[int, int]] = {}
         for intent in tx.write_set.values():
+            trace.focus("commit")
             if not intent.locked:
                 continue
             has_change = intent.new_value is not None or intent.kind == OP_DELETE
@@ -784,6 +809,7 @@ class ProtocolEngine:
             # FORD's selective flush (§7): one small read per touched
             # node, posted behind the writes on the same QPs, forces
             # the RNIC cache into persistent memory before the ack.
+            trace.focus("commit")
             flush_events = [
                 self.verbs.read_header(node, table_id, slot)
                 for node, (table_id, slot) in touched.items()
@@ -799,6 +825,7 @@ class ProtocolEngine:
         # updated, before unlocking (§2.3 step 1 vs 2).
         self.coordinator.on_commit_ack(tx)
 
+        trace.focus("unlock")
         for intent in tx.write_set.values():
             if intent.locked:
                 self.verbs.write_lock(intent.lock_node, intent.table_id, intent.slot, 0)
@@ -808,6 +835,7 @@ class ProtocolEngine:
             yield checkpoint
 
         # Lazily invalidate the undo log copies (off the critical path).
+        trace.focus("unlock")
         for node, record_id in tx.logged_records:
             self.verbs.invalidate_log(node, self.coord_id, record_id, signaled=False)
         trace.phase("unlock", self.sim.now)
@@ -826,12 +854,14 @@ class ProtocolEngine:
             # Pandora §3.1.5: the abort *decision* is logged by
             # truncating the records — strictly before unlocking, so
             # recovery can never confuse this txn with a committed one.
+            tx.trace.focus("abort")
             events = [
                 self.verbs.invalidate_log(node, self.coord_id, record_id)
                 for node, record_id in tx.logged_records
             ]
             yield self.sim.all_of(events)
 
+        tx.trace.focus("abort")
         for intent in tx.write_set.values():
             release = intent.locked
             if self.bugs.complicit_abort:
@@ -893,7 +923,13 @@ class ProtocolEngine:
         if tx.apply_done:
             # All replica updates landed before the interrupt: commit.
             self.coordinator.on_commit_ack(tx)
+            tx.trace.focus("recover")
             self._best_effort_release(tx)
+            # Seal the flight record here: when the interrupt killed the
+            # attempt generator, run_attempt's trace.end never runs.
+            self.obs.flight.close(
+                tx.trace.rec, "commit:interrupted", self.sim.now, len(tx.write_set)
+            )
             return TxnOutcome(
                 committed=True,
                 value=tx.result,
@@ -906,6 +942,7 @@ class ProtocolEngine:
         # Same ordering discipline as _commit: wait for the restore
         # writes to land before the locks are released, else a stale
         # undo image on one replica could race a successor's update.
+        tx.trace.focus("recover")
         undo_acks = []
         for intent in tx.write_set.values():
             if intent.applied:
@@ -927,8 +964,15 @@ class ProtocolEngine:
                 yield ack
             except RdmaError:
                 pass
+        tx.trace.focus("recover")
         self._best_effort_release(tx)
         self.coordinator.on_abort(tx, AbortReason.MEMORY_RECONFIG)
+        self.obs.flight.close(
+            tx.trace.rec,
+            f"abort:{AbortReason.MEMORY_RECONFIG}",
+            self.sim.now,
+            len(tx.write_set),
+        )
         return TxnOutcome(
             committed=False,
             reason=AbortReason.MEMORY_RECONFIG,

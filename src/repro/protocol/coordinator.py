@@ -187,7 +187,7 @@ class Coordinator:
             self.stats.attempts += 1
             txn_id = self.next_txn_id()
             try:
-                outcome = yield from self.engine.run_attempt(logic, txn_id)
+                outcome = yield from self.engine.run_attempt(logic, txn_id, attempts)
             except Interrupt as interrupt:
                 outcome = yield from self.engine.recover_interrupted(interrupt.cause)
             except LinkRevokedError:

@@ -93,6 +93,12 @@ class QueuePair:
             request_size + VERB_HEADER_BYTES,
             posted_at,
         )
+        # Flight-recorder attribution: returns a token the completion
+        # path fills with the measured latency (None when disabled or
+        # the verb is system traffic with no focused attempt).
+        flight_token = self.obs.flight.on_post(
+            kind, self.compute_id, self.memory_node.node_id, posted_at
+        )
         self.sanitizer.on_post(
             self.compute_id, self.memory_node.node_id, kind, args, posted_at
         )
@@ -128,6 +134,7 @@ class QueuePair:
                     0,
                     kind,
                     posted_at,
+                    flight_token,
                 )
                 return
             if memory_node.is_revoked(compute_id):
@@ -138,10 +145,13 @@ class QueuePair:
                     0,
                     kind,
                     posted_at,
+                    flight_token,
                 )
                 return
             result, response_size = memory_node.apply(compute_id, kind, args)
-            self._complete(completion, result, None, response_size, kind, posted_at)
+            self._complete(
+                completion, result, None, response_size, kind, posted_at, flight_token
+            )
 
         self.sim.call_at(arrival, execute)
         return completion
@@ -154,6 +164,7 @@ class QueuePair:
         response_size: int,
         kind: str = "",
         posted_at: float = 0.0,
+        flight_token: Optional[Any] = None,
     ) -> None:
         arrival = max(
             self._last_response_arrival,
@@ -167,6 +178,7 @@ class QueuePair:
             response_size + VERB_HEADER_BYTES,
             error is None,
         )
+        self.obs.flight.on_complete(flight_token, arrival - posted_at, error is None)
 
         def deliver() -> None:
             # finish_now runs waiters synchronously — we are already

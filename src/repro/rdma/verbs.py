@@ -22,10 +22,31 @@ from repro.rdma.network import Network
 from repro.rdma.qp import QueuePair
 from repro.sim import Event, Simulator
 
-__all__ = ["Verbs"]
+__all__ = ["Verbs", "VERB_CATEGORIES"]
 
 # Wimpy-core processing time for a control-plane RPC (setup / revoke).
 CTRL_RPC_CPU_SECONDS = 2e-6
+
+# Verb kind → cost category, used by the report layer to group the
+# round-trip accounting tables. Every kind a QP can post appears here;
+# unknown kinds (future verbs) are reported under "other".
+VERB_CATEGORIES = {
+    "read_object": "data",
+    "read_header": "data",
+    "read_headers": "data",
+    "cas_lock": "data",
+    "write_lock": "data",
+    "write_object": "data",
+    "write_log": "log",
+    "invalidate_log": "log",
+    "read_log_region": "log",
+    "truncate_log_region": "log",
+    "scan_chunk": "data",
+    "ctrl_rpc": "ctrl",
+    "ctrl_revoke": "ctrl",
+    "ctrl_unrevoke": "ctrl",
+    "ctrl_register_log_region": "ctrl",
+}
 
 
 class Verbs:

@@ -142,15 +142,24 @@ class Histogram:
             raise ValueError(f"percentile out of range: {pct}")
         if self.count == 0:
             return 0.0
+        # The extremes are tracked exactly; don't interpolate them out
+        # of a bucket (p100 could otherwise exceed the observed max).
+        if pct == 0:
+            return self.stats.min
+        if pct == 100:
+            return self.stats.max
         target = pct / 100.0 * self.count
         running = 0
         for index, bucket_count in enumerate(self._counts):
             running += bucket_count
             if running >= target and bucket_count:
                 low, high = self._bucket_bounds(index)
-                # Linear interpolation inside the bucket.
+                # Linear interpolation inside the bucket, clamped to
+                # the observed range (a single sample in a wide bucket
+                # would otherwise report the bucket midpoint).
                 fraction = 1.0 - (running - target) / bucket_count
-                return low + (high - low) * fraction
+                value = low + (high - low) * fraction
+                return min(max(value, self.stats.min), self.stats.max)
         return self.stats.max
 
     def __repr__(self) -> str:

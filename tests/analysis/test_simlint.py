@@ -74,6 +74,23 @@ class TestRules:
         source = "def f():\n    print('hello')\n"
         assert "SIM007" not in rules_of(lint_source(source, path="cli.py"))
 
+    def test_sim007_print_allowed_in_report_renderers(self):
+        source = "def f():\n    print('hello')\n"
+        for path in (
+            "src/repro/bench/report.py",
+            "src/repro/obs/report.py",
+            "src/repro/analysis/cli.py",
+        ):
+            assert "SIM007" not in rules_of(lint_source(source, path=path)), path
+
+    def test_sim007_stray_report_module_is_not_exempt(self):
+        # The allowlist matches path suffixes, not basenames: a
+        # report.py outside the known renderer locations still flags.
+        source = "def f():\n    print('hello')\n"
+        assert "SIM007" in rules_of(lint_source(source, path="src/repro/engine/report.py"))
+        # Nor does a file merely *ending* in "cli.py" sneak through.
+        assert "SIM007" in rules_of(lint_source(source, path="src/repro/fastcli.py"))
+
     def test_sim008_entropy(self):
         source = "import os\n\ndef f():\n    return os.urandom(8)\n"
         assert "SIM008" in rules_of(lint_source(source))

@@ -127,3 +127,60 @@ class TestNullMetrics:
         assert NULL_GAUGE.value == 0.0
         assert NULL_HISTOGRAM.count == 0
         assert NULL_HISTOGRAM.percentile(99) == 0.0
+
+    def test_null_histogram_validates_percentile_range(self):
+        # Parity with Histogram: out-of-range queries are caller bugs
+        # and must not pass silently on the disabled path.
+        with pytest.raises(ValueError):
+            NULL_HISTOGRAM.percentile(101)
+        with pytest.raises(ValueError):
+            NULL_HISTOGRAM.percentile(-1)
+
+
+class TestPrometheusRendering:
+    def test_type_lines_and_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.inc("rdma.verbs", 3, verb="read")
+        registry.gauge("kernel.now").set(0.25)
+        text = registry.render_prometheus()
+        assert "# TYPE rdma_verbs counter" in text
+        assert 'rdma_verbs{verb="read"} 3' in text
+        assert "# TYPE kernel_now gauge" in text
+        assert "kernel_now 0.25" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 1, path='a\\b"c\nd')
+        text = registry.render_prometheus()
+        assert 'c{path="a\\\\b\\"c\\nd"} 1' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", min_value=1e-6, max_value=1.0)
+        for value in (2e-6, 2e-6, 5e-4, 0.1):
+            hist.add(value)
+        text = registry.render_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE lat histogram" in lines
+        bucket_counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith("lat_bucket")
+        ]
+        # Cumulative: monotonically non-decreasing, ending at the total.
+        assert bucket_counts == sorted(bucket_counts)
+        assert bucket_counts[-1] == 4
+        assert 'lat_bucket{le="+Inf"} 4' in lines
+        assert "lat_count 4" in lines
+        (sum_line,) = [line for line in lines if line.startswith("lat_sum")]
+        assert float(sum_line.split(" ")[1]) == pytest.approx(2e-6 + 2e-6 + 5e-4 + 0.1)
+
+    def test_histogram_with_labels_keeps_le_with_other_labels(self):
+        registry = MetricsRegistry()
+        registry.observe("txn.lat", 1e-4, protocol="pandora")
+        text = registry.render_prometheus()
+        assert 'txn_lat_bucket{protocol="pandora",le="+Inf"} 1' in text
+        assert 'txn_lat_count{protocol="pandora"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

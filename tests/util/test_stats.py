@@ -6,7 +6,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.util.stats import Histogram, OnlineStats, ThroughputTimeline
+from repro.util.stats import (
+    Histogram,
+    OnlineStats,
+    ThroughputTimeline,
+    percentile_of_sorted,
+)
 
 
 class TestOnlineStats:
@@ -106,6 +111,64 @@ class TestHistogram:
         hist.add(1e-9)
         hist.add(100.0)
         assert hist.count == 2
+
+    def test_percentile_extremes_are_exact(self):
+        hist = Histogram()
+        rng = random.Random(4)
+        values = [rng.uniform(1e-5, 1e-3) for _ in range(1000)]
+        for value in values:
+            hist.add(value)
+        # p0/p100 come from the exact min/max tracked by OnlineStats,
+        # not from bucket interpolation.
+        assert hist.percentile(0) == min(values)
+        assert hist.percentile(100) == max(values)
+
+    def test_single_sample_every_percentile_is_the_sample(self):
+        hist = Histogram()
+        hist.add(3.7e-4)
+        for pct in (0, 1, 50, 99, 100):
+            assert hist.percentile(pct) == pytest.approx(3.7e-4)
+
+    def test_interpolation_clamped_to_observed_range(self):
+        # Two samples in the same wide bucket: interpolation must not
+        # report a value outside [min, max].
+        hist = Histogram(min_value=1e-3, max_value=10.0, buckets_per_decade=1)
+        hist.add(2.0)
+        hist.add(2.1)
+        for pct in (10, 50, 90):
+            assert 2.0 <= hist.percentile(pct) <= 2.1
+
+    def test_empty_percentile_zero_and_hundred(self):
+        hist = Histogram()
+        assert hist.percentile(0) == 0.0
+        assert hist.percentile(100) == 0.0
+
+    def test_negative_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(-1)
+
+
+class TestPercentileOfSorted:
+    def test_empty_is_zero(self):
+        assert percentile_of_sorted([], 50) == 0.0
+
+    def test_single_sample(self):
+        assert percentile_of_sorted([4.2], 0) == 4.2
+        assert percentile_of_sorted([4.2], 100) == 4.2
+
+    def test_exact_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile_of_sorted(values, 0) == 1.0
+        assert percentile_of_sorted(values, 50) == 3.0
+        assert percentile_of_sorted(values, 100) == 5.0
+        assert percentile_of_sorted(values, 25) == 2.0
+        assert percentile_of_sorted([1.0, 2.0], 50) == pytest.approx(1.5)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile_of_sorted([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile_of_sorted([1.0], -0.1)
 
 
 class TestThroughputTimeline:
