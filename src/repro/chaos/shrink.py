@@ -1,0 +1,61 @@
+"""Delta-debugging shrinker for failing chaos schedules.
+
+A generated schedule carries several faults; usually only one or two
+of them are needed to reproduce a bug. The shrinker greedily removes
+one fault at a time, re-running the schedule after each removal, and
+keeps any removal that still fails — restarting the scan after every
+success so removals that only become possible together are found. The
+fixpoint is a locally-minimal schedule: removing any single remaining
+fault makes the failure disappear. That is the artifact worth
+committing as a regression test.
+
+Determinism makes this sound: the same schedule always produces the
+same result, so "still fails" is a property of the schedule, not of
+the run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.chaos.schedule import Schedule
+
+__all__ = ["shrink_schedule"]
+
+
+def _default_fails(schedule: Schedule) -> bool:
+    from repro.chaos.campaign import run_schedule
+
+    return not run_schedule(schedule).ok
+
+
+def shrink_schedule(
+    schedule: Schedule,
+    fails: Optional[Callable[[Schedule], bool]] = None,
+    max_runs: int = 64,
+) -> Tuple[Schedule, int]:
+    """Minimize a failing schedule to the fewest faults that still fail.
+
+    *fails* decides whether a candidate still reproduces (defaults to
+    "the campaign reports any violation"). Returns the minimized
+    schedule and the number of candidate runs spent. The input schedule
+    itself is never re-run — callers invoke the shrinker because they
+    already saw it fail.
+    """
+    if fails is None:
+        fails = _default_fails
+    current = schedule
+    runs = 0
+    index = 0
+    while index < len(current.faults) and runs < max_runs:
+        candidate = current.without_fault(index)
+        if not candidate.faults:
+            index += 1
+            continue
+        runs += 1
+        if fails(candidate):
+            current = candidate
+            index = 0  # restart: earlier faults may now be removable
+        else:
+            index += 1
+    return current, runs

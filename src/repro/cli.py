@@ -167,6 +167,36 @@ def build_parser() -> argparse.ArgumentParser:
     latency.add_argument("--write-ratio", type=float, default=1.0)
     _add_obs_flags(latency)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded multi-fault chaos campaign over the recovery path",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of consecutive seeds to run (default 25; "
+             "any bank >= 5 spans all five fault families)",
+    )
+    chaos.add_argument(
+        "--seed-base", type=int, default=0,
+        help="first seed of the bank (default 0)",
+    )
+    chaos.add_argument("--protocol", default="pandora", choices=PROTOCOLS)
+    chaos.add_argument(
+        "--replay", metavar="SCHEDULE.json", default=None,
+        help="replay one schedule artifact instead of generating a bank",
+    )
+    chaos.add_argument(
+        "--shrink", action="store_true",
+        help="delta-debug each failing schedule to a locally-minimal "
+             "fault set before reporting it",
+    )
+    chaos.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write failing (minimized, with --shrink) schedules to DIR "
+             "as replayable JSON artifacts",
+    )
+    _add_sanitize_flag(chaos)
+
     report = sub.add_parser(
         "obs-report",
         help="render flight-recorder reports from --trace *.jsonl exports",
@@ -312,6 +342,56 @@ def _cmd_recovery_latency(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import os
+    from dataclasses import replace
+
+    from repro.chaos import (
+        Schedule,
+        generate_schedule,
+        run_schedule,
+        shrink_schedule,
+    )
+
+    if args.replay:
+        with open(args.replay) as handle:
+            schedules = [Schedule.from_json(handle.read())]
+    else:
+        schedules = [
+            replace(generate_schedule(seed), protocol=args.protocol)
+            for seed in range(args.seed_base, args.seed_base + args.seeds)
+        ]
+
+    failures = 0
+    for schedule in schedules:
+        result = run_schedule(schedule, sanitize=args.sanitize)
+        print(result.summary())
+        if result.ok:
+            continue
+        failures += 1
+        for violation in result.violations[:5]:
+            print(f"    [{violation.code}] {violation.detail}")
+        artifact = schedule
+        if args.shrink:
+            def fails(candidate, _sanitize=args.sanitize):
+                return not run_schedule(candidate, sanitize=_sanitize).ok
+
+            artifact, runs = shrink_schedule(schedule, fails=fails)
+            print(
+                f"    shrunk {len(schedule.faults)} -> "
+                f"{len(artifact.faults)} fault(s) in {runs} run(s)"
+            )
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"chaos-seed{schedule.seed}.json")
+            with open(path, "w") as handle:
+                handle.write(artifact.to_json() + "\n")
+            print(f"    wrote {path}")
+    total = len(schedules)
+    print(f"chaos campaign: {total - failures}/{total} schedule(s) clean")
+    return 1 if failures else 0
+
+
 def _cmd_obs_report(args) -> int:
     from repro.obs.report import (
         check_log_write_claim,
@@ -353,6 +433,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "steady": _cmd_steady,
         "failover": _cmd_failover,
         "recovery-latency": _cmd_recovery_latency,
+        "chaos": _cmd_chaos,
         "obs-report": _cmd_obs_report,
     }
     return handlers[args.command](args)

@@ -328,7 +328,19 @@ class Cluster:
         failed forever, §3.1.2) and re-established, un-revoked links.
         """
         if node.alive:
-            return
+            fenced = any(
+                memory.alive and memory.is_revoked(node.node_id)
+                for memory in self.memory_nodes.values()
+            )
+            if not fenced:
+                return
+            # Falsely-suspected node that stayed idle through its own
+            # recovery: it never touched memory, so it never observed
+            # the revocation and never crashed itself — but its links
+            # are revoked everywhere and its coordinator ids are marked
+            # failed, so it can never commit again. Treat the restart
+            # as crash + rejoin instead of silently leaving it fenced.
+            node.crash()
         if ("compute", node.node_id) in self.recovery._in_progress:
             # Recovery is mid-flight for this node; restarting now
             # would race link revocation against the new QPs. Defer.

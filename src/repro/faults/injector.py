@@ -78,7 +78,15 @@ class FaultInjector:
         return plan
 
     def crash_at(self, node, when: float) -> None:
-        """Kill *node* at absolute virtual time *when*."""
+        """Kill *node* at absolute virtual time *when*.
+
+        A no-op if the node is already crashed when the timer is armed
+        (scheduling a kill against a corpse would otherwise crash the
+        node again should it restart before *when*). The fire-time
+        ``alive`` check handles the node dying in between.
+        """
+        if not node.alive:
+            return
 
         def fire() -> None:
             if node.alive:
@@ -98,11 +106,23 @@ class FaultInjector:
         )
 
     def clear(self, node_id: Optional[int] = None) -> None:
-        """Drop crash plans (for one node, or all)."""
+        """Drop crash plans (for one node, or all).
+
+        The countdown state of the removed plans is reset so that a
+        caller holding a plan reference can re-register it and get a
+        fresh plan — previously a cleared-then-re-added plan kept its
+        ``_seen``/``fired`` state and either fired early or never.
+        """
         if node_id is None:
+            removed = [
+                plan for plans in self._plans_by_node.values() for plan in plans
+            ]
             self._plans_by_node.clear()
         else:
-            self._plans_by_node.pop(node_id, None)
+            removed = self._plans_by_node.pop(node_id, [])
+        for plan in removed:
+            plan._seen = 0
+            plan.fired = False
 
     # -- engine-facing hook ------------------------------------------------------
 
@@ -118,6 +138,12 @@ class FaultInjector:
         node = coordinator.node
         plans = self._plans_by_node.get(node.node_id)
         if not plans:
+            return None
+        if not node.alive:
+            # A crash point reached by a process that outlived its
+            # node's crash (the kill lands on the next kernel step)
+            # must not fire plans, record spurious crashes, or burn
+            # RNG draws for probabilistic plans.
             return None
         for plan in plans:
             if plan.fired or not plan.matches(point):

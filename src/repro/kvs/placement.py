@@ -170,8 +170,13 @@ class Placement:
             f"coord-log-{coord_id}", len(self.memory_node_ids)
         )
         live = [node for node in candidates if node not in self._down]
-        if len(live) < self.replication_degree:
-            raise RuntimeError(
-                f"fewer than {self.replication_degree} live log servers remain"
-            )
+        if not live:
+            raise RuntimeError("no live log server remains (more than f failures)")
+        # Degraded mode: with f failures and no spare server, fewer
+        # than f+1 live log servers remain. Like the data path (the
+        # primary promotion rule above), logging continues on the live
+        # subset — with reduced fault tolerance — until §3.2.5
+        # re-replication restores the degree. Raising here instead
+        # killed every in-flight transaction at its log write *after*
+        # the lock barrier, leaking locks under live coordinator ids.
         return tuple(live[: self.replication_degree])

@@ -143,6 +143,8 @@ class HistoryFuzzer:
         crash_probability_per_ms: float = 0.0,
         seed: int = 0,
         sanitize: bool = False,
+        loss_probability: float = 0.0,
+        jitter: Optional[float] = None,
     ) -> None:
         self.protocol = protocol
         self.duration = duration
@@ -161,6 +163,9 @@ class HistoryFuzzer:
             restart_failed_after=2e-3,
             sanitize=sanitize,
         )
+        config.network.loss_probability = loss_probability
+        if jitter is not None:
+            config.network.jitter = jitter
         self.cluster = Cluster(config, _FuzzWorkload(keys))
         self.history: List = []
         for coordinator in self.cluster.all_coordinators():

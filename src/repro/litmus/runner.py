@@ -129,6 +129,7 @@ class LitmusRunner:
         compute_nodes: int = 2,
         coordinators_per_node: int = 4,
         jitter: float = 0.4e-6,
+        loss_probability: float = 0.0,
         copies: int = 2,
         max_start_offset: float = 8e-6,
         crash_points: Optional[List[str]] = None,
@@ -164,6 +165,7 @@ class LitmusRunner:
             sanitize=sanitize,
         )
         config.network.jitter = jitter
+        config.network.loss_probability = loss_probability
         self.cluster = Cluster(config, self.workload)
         self.report = LitmusReport(spec_name=spec.name, protocol=protocol)
         # (round_index, keymap, outcomes) for the final sweep.

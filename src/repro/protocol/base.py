@@ -847,19 +847,36 @@ class ProtocolEngine:
         pending = [proc for proc in tx.lock_procs if not proc.triggered]
         if pending:
             yield self.sim.all_of(pending)
-        if tx.log_acks:
-            yield self.sim.all_of(tx.log_acks)
+        for ack in tx.log_acks:
+            # A log copy posted to a server that died in flight fails
+            # with RdmaError; the abort must survive that — this runs
+            # inside the TxnAbort handler, so an escaping RdmaError
+            # would skip the unlocks below and leak every held lock
+            # under a *live* coordinator id (unstealable by PILL).
+            try:
+                yield ack
+            except RdmaError:
+                continue
 
         if tx.logged_records and not self.bugs.lost_decision:
             # Pandora §3.1.5: the abort *decision* is logged by
             # truncating the records — strictly before unlocking, so
             # recovery can never confuse this txn with a committed one.
+            # Per-event await for the same reason as the acks above: a
+            # record on a dead log server is judged by the survivors,
+            # and a stale valid record is harmless — recovery's
+            # roll-back of a never-applied write-set is a no-op, and
+            # truncation drops the record afterwards.
             tx.trace.focus("abort")
             events = [
                 self.verbs.invalidate_log(node, self.coord_id, record_id)
                 for node, record_id in tx.logged_records
             ]
-            yield self.sim.all_of(events)
+            for event in events:
+                try:
+                    yield event
+                except RdmaError:
+                    continue
 
         tx.trace.focus("abort")
         for intent in tx.write_set.values():
@@ -901,6 +918,13 @@ class ProtocolEngine:
                 start_time=self.sim.now,
                 end_time=self.sim.now,
             )
+        # The compute server can crash *while* resolving an interrupted
+        # attempt — the union of two failure windows the paper treats
+        # separately (§3.2.2 x §3.2.5). These crash points let the
+        # chaos campaign land a kill at each step of the resolution.
+        checkpoint = self._cp("recover_interrupted")
+        if checkpoint is not None:
+            yield checkpoint
         pending = [proc for proc in tx.lock_procs if not proc.triggered]
         if pending:
             try:
@@ -919,6 +943,9 @@ class ProtocolEngine:
                 yield ack
             except RdmaError:
                 pass
+        checkpoint = self._cp("recover_drained")
+        if checkpoint is not None:
+            yield checkpoint
 
         if tx.apply_done:
             # All replica updates landed before the interrupt: commit.
@@ -964,6 +991,9 @@ class ProtocolEngine:
                 yield ack
             except RdmaError:
                 pass
+        checkpoint = self._cp("recover_undo_written")
+        if checkpoint is not None:
+            yield checkpoint
         tx.trace.focus("recover")
         self._best_effort_release(tx)
         self.coordinator.on_abort(tx, AbortReason.MEMORY_RECONFIG)

@@ -173,7 +173,29 @@ class Coordinator:
         while True:
             yield from self.node.wait_if_paused()
             logic = self.workload.next_transaction(self.rng)
-            yield from self.run_transaction(logic)
+            try:
+                yield from self.run_transaction(logic)
+            except Interrupt:
+                # A reconfiguration interrupt delivered after the
+                # attempt it targeted already resolved (the send and
+                # the delivery straddle other same-timestep callbacks).
+                # There is nothing left to recover.
+                continue
+            except LinkRevokedError:
+                self.node.on_fenced(self)
+                return
+            except Exception:
+                # An unexpected error escaping a worker would otherwise
+                # end this process *silently* — with any locks the
+                # in-flight transaction held still set under a live
+                # coordinator id, unstealable by PILL forever. Convert
+                # it into the one failure mode the system is built to
+                # survive: fail-stop the whole node so recovery fences
+                # it and reclaims everything it held (§2.1 crash-stop).
+                # call_soon: crash() kills this very process, and a
+                # running generator cannot close itself.
+                self.sim.call_soon(self.node.crash)
+                return
             if self.config.think_time:
                 yield self.sim.timeout(self.config.think_time)
 

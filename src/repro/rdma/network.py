@@ -64,10 +64,16 @@ class Network:
         delay = cfg.one_way_latency + size_bytes / cfg.bandwidth_bytes_per_sec
         if cfg.jitter:
             delay += self._rng.random() * cfg.jitter
-        if cfg.loss_probability and self._rng.random() < cfg.loss_probability:
+        if cfg.loss_probability:
             # Reliable connection: the NIC retransmits after a timeout;
-            # the sender only observes the extra delay.
-            delay += cfg.retransmit_timeout
+            # the sender only observes the extra delay. A retransmitted
+            # packet is just as likely to be lost as the original, so
+            # the number of retries is geometric — and each retry is a
+            # fresh wire traversal, so it re-rolls jitter too.
+            while self._rng.random() < cfg.loss_probability:
+                delay += cfg.retransmit_timeout
+                if cfg.jitter:
+                    delay += self._rng.random() * cfg.jitter
         return delay
 
     def transfer_time(self, size_bytes: int) -> float:

@@ -56,7 +56,7 @@ class DistributedFailureDetector(FailureDetector):
         def make_sink(index: int) -> Callable[[str, int, float], None]:
             def sink(kind: str, node_id: int, sent_at: float) -> None:
                 key = (kind, node_id)
-                if key in self._registered:
+                if key in self._registered and key not in self._blackholed:
                     self._replica_heartbeats[index][key] = self.sim.now
 
             return sink

@@ -43,6 +43,9 @@ class FailureDetector:
         self._last_heartbeat: Dict[Tuple[str, int], float] = {}
         self._registered: Dict[Tuple[str, int], Any] = {}
         self._suspected: Set[Tuple[str, int]] = set()
+        # Heartbeats from these keys are dropped on arrival (a network
+        # partition between the node and the detector).
+        self._blackholed: Set[Tuple[str, int]] = set()
         self.detections: List[Tuple[float, str, int]] = []
         self._process = None
 
@@ -75,8 +78,26 @@ class FailureDetector:
     def heartbeat(self, kind: str, node_id: int, sent_at: float) -> None:
         """Record a heartbeat arrival for (kind, node)."""
         key = (kind, node_id)
-        if key in self._registered:
+        if key in self._registered and key not in self._blackholed:
             self._last_heartbeat[key] = self.sim.now
+
+    # -- partitions (false-positive injection) ---------------------------------
+
+    def blackhole(self, kind: str, node_id: int) -> None:
+        """Drop subsequent heartbeats from (kind, node).
+
+        Models a network partition between a *healthy* node and the
+        detector: once ``timeout`` elapses the node is declared failed
+        even though it is still running — the FD false positive the
+        paper explicitly allows (§3.2.2; Cor1 makes it safe). Chaos
+        schedules use this to manufacture false positives at an exact
+        virtual time instead of hoping a loss spike lines up.
+        """
+        self._blackholed.add((kind, node_id))
+
+    def heal(self, kind: str, node_id: int) -> None:
+        """Deliver heartbeats from (kind, node) again."""
+        self._blackholed.discard((kind, node_id))
 
     # -- detection loop --------------------------------------------------------------
 

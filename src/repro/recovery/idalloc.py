@@ -64,6 +64,11 @@ class IdAllocator:
         return list(self.failed)
 
     @property
+    def recycled_ids(self) -> List[int]:
+        """Ids returned to the pool and not yet handed out again."""
+        return list(self._recycled)
+
+    @property
     def consumed_ratio(self) -> float:
         """Fraction of the id space handed out so far."""
         return self._next / self.capacity

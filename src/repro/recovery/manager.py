@@ -118,6 +118,7 @@ class RecoveryManager:
         self.obs = obs if obs is not None else NOOP_OBS
         self.records: List[RecoveryRecord] = []
         self._in_progress: Set[Tuple[str, int]] = set()
+        self._processes: Dict[Tuple[str, int], Any] = {}
 
     # -- entry points (called by the failure detector) -----------------------
 
@@ -127,9 +128,11 @@ class RecoveryManager:
         if key in self._in_progress:
             return None
         self._in_progress.add(key)
-        return self.sim.process(
+        process = self.sim.process(
             self._recover_compute(node), name=f"recover-c{node.node_id}"
         )
+        self._processes[key] = process
+        return process
 
     def handle_memory_failure(self, node) -> Optional[Event]:
         """Begin memory-failure reconfiguration (section 3.2.5)."""
@@ -137,9 +140,26 @@ class RecoveryManager:
         if key in self._in_progress:
             return None
         self._in_progress.add(key)
-        return self.sim.process(
+        process = self.sim.process(
             self._recover_memory(node), name=f"recover-m{node.node_id}"
         )
+        self._processes[key] = process
+        return process
+
+    def kill_recovery(self, kind: str, node_id: int) -> bool:
+        """Crash-stop an in-flight recovery (the RC itself failing).
+
+        Returns True when a live recovery process was killed. The
+        ``finally`` blocks in the recovery generators run on kill, so
+        the in-progress claim is released and a later re-detection (or
+        an explicit ``handle_*_failure`` call) can start recovery over
+        from scratch — which is safe because every step is idempotent.
+        """
+        process = self._processes.get((kind, node_id))
+        if process is None or not process.is_alive:
+            return False
+        process.kill()
+        return True
 
     # -- compute-failure recovery (§3.2.2) ---------------------------------------
 
@@ -154,6 +174,22 @@ class RecoveryManager:
         ]
 
     def _recover_compute(self, node) -> Generator[Event, Any, None]:
+        key = ("compute", node.node_id)
+        try:
+            yield from self._recover_compute_inner(node)
+        finally:
+            # Runs on normal completion AND when this recovery process
+            # is itself killed mid-flight (GeneratorExit): the claim
+            # must be released either way, or the node becomes
+            # unrecoverable forever — no re-detection can start (the
+            # key is still "in progress") and restart_compute defers
+            # in a loop waiting for it to clear. Re-running recovery
+            # from scratch is safe because every step is idempotent
+            # (§3.2.3).
+            self._in_progress.discard(key)
+            self._processes.pop(key, None)
+
+    def _recover_compute_inner(self, node) -> Generator[Event, Any, None]:
         record = RecoveryRecord(
             node_id=node.node_id, kind="compute", detected_at=self.sim.now
         )
@@ -164,12 +200,19 @@ class RecoveryManager:
         self.obs.metrics.inc("recovery.compute_recoveries")
 
         # Step 2: active-link termination at every live memory server.
+        # Posted in parallel, awaited one by one: a memory server that
+        # crashes between posting and its ack fails only its own fence
+        # (a dead server cannot serve the fenced node's verbs anyway)
+        # — an all_of here would abort the whole recovery instead.
         fence_events = [
             self.verbs.revoke_link(mem_id, node.node_id)
             for mem_id in self._alive_memory_ids()
         ]
-        if fence_events:
-            yield self.sim.all_of(fence_events)
+        for event in fence_events:
+            try:
+                yield event
+            except RdmaError:
+                continue
         record.fenced_at = self.sim.now
         tracer.span(
             "recovery",
@@ -215,8 +258,11 @@ class RecoveryManager:
             "recovery.log_recovery_latency", record.log_recovery_latency
         )
         metrics.observe("recovery.total_latency", record.total_latency)
-        self._in_progress.discard(("compute", node.node_id))
 
+        # Only a recovery that ran to completion schedules the restart:
+        # a node whose recovery died mid-flight must stay down until a
+        # fresh recovery finishes (its old ids are not yet marked
+        # failed, so restarting would race stray-lock notification).
         if self.restart_hook is not None and self.restart_after is not None:
             self.sim.call_at(
                 self.sim.now + self.restart_after,
@@ -556,11 +602,22 @@ class RecoveryManager:
         """
         if node.alive:
             return None
-        return self.sim.process(
+        process = self.sim.process(
             self._restore_memory(node), name=f"rereplicate-m{node.node_id}"
         )
+        self._processes[("memory-restore", node.node_id)] = process
+        return process
 
     def _restore_memory(self, node) -> Generator[Event, Any, None]:
+        try:
+            yield from self._restore_memory_inner(node)
+        finally:
+            # Allow this node to be detected/restored again even if the
+            # re-replication itself was killed mid-flight.
+            self._in_progress.discard(("memory", node.node_id))
+            self._processes.pop(("memory-restore", node.node_id), None)
+
+    def _restore_memory_inner(self, node) -> Generator[Event, Any, None]:
         record = RecoveryRecord(
             node_id=node.node_id, kind="memory-restore", detected_at=self.sim.now
         )
@@ -575,6 +632,31 @@ class RecoveryManager:
         # Copy every partition replica this node hosts from a live
         # copy, charging the transfer at link bandwidth.
         node.restart()
+
+        # Catch-up truncation: invalidations and truncations issued
+        # while this node was down never reached it, but a restart
+        # preserves DRAM — so its regions may still hold *valid*
+        # records of transactions that have long since resolved. A
+        # later log recovery replaying such a record can regress
+        # committed data (an aborted txn's stale record rolls undo
+        # images over newer versions). Every record here is stale —
+        # in-flight txns that logged to this node failed their later
+        # verbs against it and resolved via the interrupt path —
+        # except records of a coordinator that crashed and has NOT
+        # been recovered yet: those may be the surviving log copy, so
+        # they are kept for the pending recovery to consume.
+        pending_recovery = set()
+        for compute in self.compute_nodes.values():
+            if not compute.alive:
+                pending_recovery.update(compute.coordinator_ids())
+        for coord_id, region in node.log_regions.items():
+            if (
+                coord_id in pending_recovery
+                and coord_id not in self.id_allocator.failed
+            ):
+                continue
+            region.truncate()
+
         copied_bytes = 0
         for spec in self.catalog.tables.values():
             table_id = spec.table_id
@@ -618,12 +700,17 @@ class RecoveryManager:
             pid=node.node_id,
             args={"bytes_copied": copied_bytes},
         )
-        # Allow this node to be detected again if it fails later.
-        self._in_progress.discard(("memory", node.node_id))
 
     # -- memory-failure recovery (§3.2.5) -------------------------------------------------
 
     def _recover_memory(self, node) -> Generator[Event, Any, None]:
+        try:
+            yield from self._recover_memory_inner(node)
+        finally:
+            self._in_progress.discard(("memory", node.node_id))
+            self._processes.pop(("memory", node.node_id), None)
+
+    def _recover_memory_inner(self, node) -> Generator[Event, Any, None]:
         record = RecoveryRecord(
             node_id=node.node_id, kind="memory", detected_at=self.sim.now
         )
@@ -657,4 +744,3 @@ class RecoveryManager:
             pid=node.node_id,
         )
         self.obs.metrics.inc("recovery.memory_reconfigs")
-        self._in_progress.discard(("memory", node.node_id))

@@ -202,7 +202,19 @@ class Process(Event):
             target.callbacks = [
                 cb for cb in target.callbacks if getattr(cb, "__self__", None) is not self
             ]
-        self.generator.close()
+        try:
+            self.generator.close()
+        except ValueError:
+            # kill() reached from *inside* the running generator — e.g.
+            # a fenced coordinator crashing its own node, which kills
+            # every worker including itself. close() cannot close an
+            # executing generator; the _alive flag is already down, so
+            # the process simply never resumes past its next yield.
+            # Before this guard the ValueError aborted the caller's
+            # kill loop partway, leaving the remaining processes
+            # running as zombies — which could later post verbs under
+            # coordinator ids already marked failed.
+            pass
         if not self.triggered:
             self._state = _TRIGGERED
             self._exception = ProcessKilled(self.name)

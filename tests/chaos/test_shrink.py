@@ -1,0 +1,81 @@
+"""Unit tests for the delta-debugging shrinker (no cluster needed)."""
+
+from repro.chaos import Fault, Schedule, shrink_schedule
+
+
+def _schedule(n_faults: int) -> Schedule:
+    return Schedule(
+        seed=0,
+        family="cascade",
+        faults=[
+            Fault(kind="crash_compute", node=i % 3, at=(i + 1) * 1e-3)
+            for i in range(n_faults)
+        ],
+    )
+
+
+class TestShrinker:
+    def test_shrinks_to_single_culprit(self):
+        """Failure depends on one fault: everything else is removed."""
+        schedule = _schedule(6)
+        culprit = schedule.faults[3]
+
+        def fails(candidate):
+            return culprit in candidate.faults
+
+        minimized, _runs = shrink_schedule(schedule, fails=fails)
+        assert minimized.faults == [culprit]
+
+    def test_keeps_interacting_pair(self):
+        """Failure needs two faults together: both survive."""
+        schedule = _schedule(5)
+        pair = (schedule.faults[1], schedule.faults[4])
+
+        def fails(candidate):
+            return all(fault in candidate.faults for fault in pair)
+
+        minimized, _runs = shrink_schedule(schedule, fails=fails)
+        assert minimized.faults == list(pair)
+
+    def test_restart_finds_order_dependent_removals(self):
+        """Removing fault 4 only helps after fault 0 is gone; the
+        restart-at-zero policy still reaches the 1-fault minimum."""
+        schedule = _schedule(5)
+        f0, f2 = schedule.faults[0], schedule.faults[2]
+
+        def fails(candidate):
+            # f2 alone fails; f0 masks removals of anything else.
+            if f0 in candidate.faults:
+                return len(candidate.faults) >= 4
+            return f2 in candidate.faults
+
+        minimized, _runs = shrink_schedule(schedule, fails=fails)
+        assert minimized.faults == [f2]
+
+    def test_never_returns_empty(self):
+        schedule = _schedule(3)
+        minimized, _runs = shrink_schedule(schedule, fails=lambda s: True)
+        assert len(minimized.faults) == 1
+
+    def test_max_runs_bounds_work(self):
+        schedule = _schedule(8)
+        calls = []
+
+        def fails(candidate):
+            calls.append(1)
+            return True
+
+        _minimized, runs = shrink_schedule(schedule, fails=fails, max_runs=3)
+        assert runs == 3
+        assert len(calls) == 3
+
+    def test_input_schedule_never_rerun(self):
+        schedule = _schedule(3)
+        seen = []
+
+        def fails(candidate):
+            seen.append(candidate)
+            return False
+
+        shrink_schedule(schedule, fails=fails)
+        assert all(candidate.to_dict() != schedule.to_dict() for candidate in seen)

@@ -148,3 +148,42 @@ class TestRestart:
         node = cluster.compute_nodes[0]
         assert node.alive
         assert sum(c.stats.commits for c in node.coordinators) > 0
+
+
+class TestFencedAliveRestart:
+    def test_restart_rejoins_fenced_but_alive_node(self):
+        """A falsely-suspected node that idled through its own recovery
+        never crashed itself: it is alive, but its links are revoked
+        everywhere and its ids are marked failed — it can never commit
+        again. ``restart_compute`` must treat it as crash + rejoin, not
+        no-op on ``node.alive`` and leave it fenced forever."""
+        cluster = Cluster(Config(coordinators_per_node=2, seed=3), workload())
+        cluster.start()
+        node = cluster.compute_nodes[0]
+        old_ids = set(node.coordinator_ids())
+        # Emulate a completed false-positive recovery of an idle node:
+        # fenced at every memory server, ids failed, node never touched
+        # memory so it never observed any of it.
+        from repro.cluster.builder import RECOVERY_SERVER_ID
+
+        for memory in cluster.memory_nodes.values():
+            memory._op_ctrl_revoke(RECOVERY_SERVER_ID, (node.node_id,))
+        for coord_id in old_ids:
+            cluster.id_allocator.mark_failed(coord_id)
+        assert node.alive
+
+        cluster.restart_compute(node)
+        assert node.alive and not node.fenced
+        new_ids = set(node.coordinator_ids())
+        assert new_ids and new_ids.isdisjoint(old_ids)
+        for memory in cluster.memory_nodes.values():
+            assert not memory.is_revoked(node.node_id)
+
+    def test_restart_of_healthy_node_is_noop(self):
+        """An alive, unfenced node is left alone (no id churn)."""
+        cluster = Cluster(Config(coordinators_per_node=2, seed=3), workload())
+        cluster.start()
+        node = cluster.compute_nodes[0]
+        ids = set(node.coordinator_ids())
+        cluster.restart_compute(node)
+        assert set(node.coordinator_ids()) == ids

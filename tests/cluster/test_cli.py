@@ -49,3 +49,42 @@ class TestCommands:
     def test_unknown_workload_exits(self):
         with pytest.raises(SystemExit):
             main(["steady", "--workload", "nope"])
+
+
+class TestChaosCommand:
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seeds == 25
+        assert args.seed_base == 0
+        assert args.protocol == "pandora"
+        assert not args.shrink
+
+    def test_chaos_bank_runs_clean(self, capsys):
+        assert main(["chaos", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos[seed=0" in out
+        assert "2/2 schedule(s) clean" in out
+
+    def test_chaos_replay_artifact(self, capsys, tmp_path):
+        import pathlib
+
+        artifact = sorted(
+            (pathlib.Path(__file__).parents[1] / "chaos" / "schedules").glob("*.json")
+        )[0]
+        assert main(["chaos", "--replay", str(artifact)]) == 0
+        assert "1/1 schedule(s) clean" in capsys.readouterr().out
+
+    def test_chaos_failure_exits_nonzero_and_writes_artifact(self, capsys, tmp_path):
+        """A protocol with the published FORD bugs fails the oracle;
+        the failing schedule lands in --out as replayable JSON."""
+        from repro.chaos import Schedule
+
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            ["chaos", "--seeds", "1", "--protocol", "ford", "--out", str(out_dir)]
+        )
+        assert code == 1
+        written = list(out_dir.glob("chaos-seed*.json"))
+        assert len(written) == 1
+        schedule = Schedule.from_json(written[0].read_text())
+        assert schedule.protocol == "ford"

@@ -169,3 +169,83 @@ class TestDefaultSeed:
         with caplog.at_level(logging.DEBUG, logger="repro.faults.injector"):
             FaultInjector(Simulator())
         assert any("DEFAULT_FAULT_SEED" in record.message for record in caplog.records)
+
+
+class TestStateHygiene:
+    """Injector state hygiene: clear() resets plans, dead nodes are inert."""
+
+    def _rig(self, alive=True):
+        sim = Simulator()
+        injector = FaultInjector(sim, random.Random(7))
+
+        class FakeNode:
+            node_id = 0
+
+            def __init__(self):
+                self.alive = alive
+                self.crashed = 0
+
+            def crash(self):
+                self.alive = False
+                self.crashed += 1
+
+        class FakeCoordinator:
+            pass
+
+        node = FakeNode()
+        coordinator = FakeCoordinator()
+        coordinator.node = node
+        return sim, injector, node, coordinator
+
+    def test_clear_resets_countdown(self):
+        _sim, injector, _node, coordinator = self._rig()
+        plan = injector.crash_on_point(0, "locked", nth=3)
+        injector.crash_point("locked", coordinator)
+        injector.crash_point("locked", coordinator)
+        assert plan._seen == 2
+        injector.clear()
+        injector.add_plan(plan)
+        # Fresh countdown: the first post-clear invocation is #1 of 3,
+        # not #3 of 3 (the pre-fix behaviour fired here).
+        assert injector.crash_point("locked", coordinator) is None
+        assert not plan.fired
+
+    def test_clear_resets_fired_flag(self):
+        _sim, injector, node, coordinator = self._rig()
+        plan = injector.crash_on_point(0, "locked", nth=1)
+        assert injector.crash_point("locked", coordinator) is not None
+        assert plan.fired
+        injector.clear(0)
+        node.alive = True
+        injector.add_plan(plan)
+        # A re-registered plan arms again instead of staying spent.
+        assert injector.crash_point("locked", coordinator) is not None
+
+    def test_per_node_clear_resets_only_that_node(self):
+        _sim, injector, _node, _coordinator = self._rig()
+        mine = injector.crash_on_point(0, "locked", nth=5)
+        other = injector.crash_on_point(1, "locked", nth=5)
+        mine._seen = other._seen = 4
+        injector.clear(0)
+        assert mine._seen == 0
+        assert other._seen == 4
+
+    def test_crash_at_dead_node_never_schedules(self):
+        sim, injector, node, _coordinator = self._rig(alive=False)
+        injector.crash_at(node, 0.005)
+        assert sim.queue_depth == 0
+
+    def test_crash_point_on_dead_node_is_inert(self):
+        _sim, injector, node, coordinator = self._rig(alive=False)
+        plan = injector.crash_on_point(0, "locked", nth=1)
+        rng_state = injector.rng.getstate()
+        assert injector.crash_point("locked", coordinator) is None
+        assert not plan.fired and plan._seen == 0
+        assert not injector.crashes
+        assert node.crashed == 0
+        # Probabilistic plans must not burn RNG draws either, or a
+        # dead-node window would shift every later seeded decision.
+        injector.clear()
+        injector.random_crashes(0, probability=0.5)
+        assert injector.crash_point("locked", coordinator) is None
+        assert injector.rng.getstate() == rng_state

@@ -1,0 +1,92 @@
+"""Protocol correctness on a lossy, jittery fabric.
+
+The fabric's loss model charges geometric retransmission delay — loss
+never drops a reliable-connection verb, it only makes it (much) later.
+Correctness must therefore be completely insensitive to loss and
+jitter; these tests run the litmus suite and the history fuzzer under
+an aggressive fabric and expect exactly the clean results of a quiet
+one, with the PILL sanitizer shadowing the lock table throughout.
+"""
+
+import pytest
+
+from repro.litmus import LITMUS_SUITE, LitmusRunner
+from repro.litmus.fuzzer import HistoryFuzzer
+
+LOSS = 0.2
+JITTER = 2e-6
+
+
+class TestLitmusUnderLoss:
+    @pytest.mark.parametrize(
+        "spec",
+        [s for s in LITMUS_SUITE() if s.name in ("litmus-1", "litmus-2", "litmus-3")],
+        ids=lambda s: s.name,
+    )
+    def test_litmus_clean_on_lossy_fabric(self, spec):
+        runner = LitmusRunner(
+            spec,
+            protocol="pandora",
+            rounds=12,
+            crash_probability=0.3,
+            seed=23,
+            loss_probability=LOSS,
+            jitter=JITTER,
+            sanitize=True,
+        )
+        report = runner.run()
+        assert report.passed, [v.description for v in report.violations]
+        sanitizer = runner.cluster.sanitizer
+        assert sanitizer is not None and not sanitizer.violations
+
+
+class TestFuzzerUnderLoss:
+    def test_fuzz_serializable_on_lossy_fabric(self):
+        fuzzer = HistoryFuzzer(
+            protocol="pandora",
+            duration=10e-3,
+            crash_probability_per_ms=0.3,
+            seed=31,
+            loss_probability=LOSS,
+            jitter=JITTER,
+            sanitize=True,
+        )
+        report = fuzzer.run()
+        assert report.serializable, report.cycle
+        assert report.committed > 0
+        sanitizer = fuzzer.cluster.sanitizer
+        assert sanitizer is not None and not sanitizer.violations
+
+    def test_lossy_run_is_deterministic_per_seed(self):
+        """Loss and jitter draw from the seeded RNG: same seed, same
+        committed history — the property chaos replay relies on."""
+
+        def run(seed):
+            fuzzer = HistoryFuzzer(
+                protocol="pandora",
+                duration=8e-3,
+                crash_probability_per_ms=0.3,
+                seed=seed,
+                loss_probability=LOSS,
+                jitter=JITTER,
+            )
+            fuzzer.run()
+            return fuzzer.history
+
+        first, second = run(17), run(17)
+        assert first == second
+        assert run(18) != first
+
+    def test_loss_slows_but_does_not_stop_progress(self):
+        quiet = HistoryFuzzer(protocol="pandora", duration=8e-3, seed=5)
+        lossy = HistoryFuzzer(
+            protocol="pandora",
+            duration=8e-3,
+            seed=5,
+            loss_probability=0.4,
+            jitter=JITTER,
+        )
+        quiet_report = quiet.run()
+        lossy_report = lossy.run()
+        assert lossy_report.committed > 0
+        assert lossy_report.committed < quiet_report.committed

@@ -24,9 +24,20 @@ class TestLogNodeFailover:
         placement.mark_up(before[0])
         assert placement.log_nodes(coord_id=9) == before
 
-    def test_too_many_failures_raise(self):
+    def test_degraded_quorum_returns_live_subset(self):
+        """With f failures and no spare server, logging degrades to the
+        live subset instead of raising — raising here escaped
+        mid-transaction after the lock barrier and silently killed the
+        worker with its locks held under a live coordinator id (see
+        tests/chaos/schedules/degraded-log-quorum.json)."""
         placement = Placement([0, 1], replication_degree=2)
         placement.mark_down(0)
+        assert placement.log_nodes(coord_id=1) == (1,)
+
+    def test_zero_live_log_servers_raise(self):
+        placement = Placement([0, 1], replication_degree=2)
+        placement.mark_down(0)
+        placement.mark_down(1)
         with pytest.raises(RuntimeError):
             placement.log_nodes(coord_id=1)
 

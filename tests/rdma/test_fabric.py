@@ -54,6 +54,60 @@ class TestNetworkModel:
             NetworkConfig(loss_probability=1.5).validate()
 
 
+class TestRetransmission:
+    """The RC retransmit model: lost packets retry geometrically.
+
+    A retransmitted packet is just as likely to be lost as the
+    original, so the retry count is geometric with mean p/(1-p) — the
+    old model charged at most one ``retransmit_timeout`` per message,
+    underestimating tail latency badly at high loss.
+    """
+
+    def _base(self, config: NetworkConfig, size: int = 64) -> float:
+        return config.one_way_latency + size / config.bandwidth_bytes_per_sec
+
+    def test_retries_are_geometric_not_single(self):
+        config = NetworkConfig(jitter=0.0, loss_probability=0.75)
+        network = Network(config, random.Random(3))
+        base = self._base(config)
+        retries = [
+            round((network.delay(64) - base) / config.retransmit_timeout)
+            for _ in range(500)
+        ]
+        # The pre-fix model capped this at 1 retransmission.
+        assert max(retries) >= 3
+        # Geometric mean p/(1-p) = 3; loose bounds for a seeded sample.
+        mean = sum(retries) / len(retries)
+        assert 2.0 < mean < 4.5
+
+    def test_each_retry_rerolls_jitter(self):
+        """Every retry is a fresh wire traversal: jitter accumulates
+        beyond one roll's worth whenever a message retries twice."""
+        config = NetworkConfig(jitter=0.2e-6, loss_probability=0.7)
+        network = Network(config, random.Random(5))
+        base = self._base(config)
+        for _ in range(500):
+            extra = network.delay(64) - base
+            retries = int(extra // config.retransmit_timeout)
+            jitter_total = extra - retries * config.retransmit_timeout
+            if jitter_total > config.jitter:
+                return  # more jitter than a single roll can produce
+        pytest.fail("jitter never exceeded one roll across 500 draws")
+
+    def test_zero_loss_pays_no_retransmit(self):
+        config = NetworkConfig(jitter=0.0, loss_probability=0.0)
+        network = Network(config, random.Random(0))
+        assert network.delay(64) == pytest.approx(self._base(config))
+
+    def test_same_seed_same_delays(self):
+        config = NetworkConfig(loss_probability=0.4)
+        first = Network(config, random.Random(9))
+        second = Network(config, random.Random(9))
+        assert [first.delay(64) for _ in range(50)] == [
+            second.delay(64) for _ in range(50)
+        ]
+
+
 class TestVerbs:
     def test_read_object_roundtrip(self, rig):
         sim, _network, _memory, verbs = rig
