@@ -1,0 +1,62 @@
+"""Kernel raw-speed benchmark: events/sec sweep + regression gate.
+
+Produces ``benchmarks/results/BENCH_KERNEL.json`` (the committed
+baseline CI gates against — see docs/OBSERVABILITY.md for the schema)
+and ``benchmarks/results/kernel_perf.txt``. Two guards:
+
+* **speed**: events/sec per fleet must stay within the committed
+  baseline's tolerance (default 25%); a drop beyond it means the
+  dispatch loop or a subsystem hot path regressed.
+* **overhead**: a fully-profiled run must stay within a bounded
+  wall-clock factor of the unprofiled run (the profiler's frame
+  push/pop is ~10 dict operations per instrumented boundary).
+  Measured ~1.9x; mirrors ``test_obs_overhead.py``'s slack.
+"""
+
+import json
+import pathlib
+
+from repro.bench.kernelperf import (
+    DEFAULT_FLEETS,
+    run_fleet,
+    run_suite,
+    suite_payload,
+    compare_to_baseline,
+    format_suite,
+)
+from repro.bench.report import write_bench_snapshot, write_report
+from repro.obs.profile import KernelProfiler
+
+BASELINE = pathlib.Path(__file__).parent / "results" / "BENCH_KERNEL.json"
+
+MAX_PROFILED_OVERHEAD = 2.5
+
+
+def test_kernel_events_per_sec():
+    results = run_suite(repeats=3)
+    payload = suite_payload(results)
+    write_report("kernel_perf", format_suite(results))
+    if not BASELINE.exists():
+        # First run on a fresh checkout: establish the baseline.
+        write_bench_snapshot("KERNEL", payload)
+        return
+    baseline = json.loads(BASELINE.read_text())
+    failures = compare_to_baseline(payload, baseline)
+    assert not failures, "kernel-perf regression vs committed baseline:\n" + (
+        "\n".join(f"  {failure}" for failure in failures)
+    )
+
+
+def test_profiled_overhead_bounded():
+    spec = DEFAULT_FLEETS[0]
+    plain = run_fleet(spec, repeats=2, seed=42)
+    profiler = KernelProfiler()
+    profiled = run_fleet(spec, repeats=1, seed=42, profiler=profiler)
+    # Same seed, same fleet: the virtual run must be bit-identical.
+    assert profiled.steps == plain.steps
+    assert profiler.steps == plain.steps
+    ratio = profiled.wall_seconds / plain.wall_seconds
+    assert ratio < MAX_PROFILED_OVERHEAD, (
+        f"profiled run {ratio:.2f}x slower than unprofiled "
+        f"(bound {MAX_PROFILED_OVERHEAD}x)"
+    )

@@ -10,18 +10,34 @@ from repro.bench.harness import (
     run_recovery_latency,
     run_steady_state,
 )
+from repro.bench.kernelperf import (
+    DEFAULT_FLEETS,
+    FleetSpec,
+    KernelPerfResult,
+    compare_to_baseline,
+    run_fleet,
+    run_suite,
+    suite_payload,
+)
 from repro.bench.report import format_series, format_table, write_report
 
 __all__ = [
+    "DEFAULT_FLEETS",
     "FailoverResult",
+    "FleetSpec",
+    "KernelPerfResult",
     "RecoveryLatencyResult",
     "SteadyStateResult",
+    "compare_to_baseline",
     "default_config",
     "format_series",
     "format_table",
     "run_failover",
+    "run_fleet",
     "run_mttf",
     "run_recovery_latency",
     "run_steady_state",
+    "run_suite",
+    "suite_payload",
     "write_report",
 ]

@@ -120,12 +120,13 @@ def run_steady_state(
     warmup: float = 5e-3,
     config: Optional[ClusterConfig] = None,
     obs=None,
+    profiler=None,
     **config_overrides,
 ) -> SteadyStateResult:
     """Failure-free throughput over *duration* of simulated time."""
     cfg = config or default_config(protocol=protocol, **config_overrides)
     workload = workload_factory()
-    cluster = Cluster(cfg, workload, obs=obs)
+    cluster = Cluster(cfg, workload, obs=obs, profiler=profiler)
     cluster.start()
     cluster.run(until=warmup + duration)
     _check_sanitizer(cluster)

@@ -89,6 +89,10 @@ class ChaosRunner:
             fd_heartbeat_interval=0.3e-3,
             fd_check_interval=0.15e-3,
             restart_failed_after=2e-3,
+            # Re-declare a dead node whose recovery was killed mid-flight
+            # (schedules isolating a bug in the restarted-recovery path
+            # itself set fd_redetect=False to suppress the self-healing).
+            fd_redetect_interval=2e-3 if schedule.fd_redetect else None,
             sanitize=sanitize,
         )
         self.cluster = Cluster(config, _FuzzWorkload(schedule.keys))

@@ -108,6 +108,12 @@ class Schedule:
     protocol: str = "pandora"
     duration: float = 12e-3
     keys: int = 24
+    # Whether the cluster's FD re-declares a dead node whose recovery
+    # died mid-flight (FailureDetector.redetect_interval). On by
+    # default — it is how a killed recovery heals; artifacts that pin
+    # a bug *in* the re-started recovery path set it to False so the
+    # failure is isolated from the self-healing.
+    fd_redetect: bool = True
     faults: List[Fault] = field(default_factory=list)
 
     # -- mutation (shrinker) -----------------------------------------------
@@ -115,6 +121,14 @@ class Schedule:
     def without_fault(self, index: int) -> "Schedule":
         """A copy with fault *index* removed."""
         faults = [replace(fault) for i, fault in enumerate(self.faults) if i != index]
+        return replace(self, faults=faults)
+
+    def with_fault(self, index: int, **changes) -> "Schedule":
+        """A copy with fields of fault *index* replaced."""
+        faults = [
+            replace(fault, **(changes if i == index else {}))
+            for i, fault in enumerate(self.faults)
+        ]
         return replace(self, faults=faults)
 
     # -- JSON round trip ----------------------------------------------------
@@ -127,6 +141,7 @@ class Schedule:
             "protocol": self.protocol,
             "duration": self.duration,
             "keys": self.keys,
+            "fd_redetect": self.fd_redetect,
             "faults": [asdict(fault) for fault in self.faults],
         }
 
@@ -144,6 +159,11 @@ class Schedule:
             protocol=data.get("protocol", "pandora"),
             duration=data.get("duration", 12e-3),
             keys=data.get("keys", 24),
+            # Artifacts predating the field replay with re-detection on
+            # (the campaign default they were minimized under... almost:
+            # pre-redetect artifacts reproduce bugs whose fixes hold
+            # with or without it, see tests/chaos/test_regressions.py).
+            fd_redetect=data.get("fd_redetect", True),
             faults=[Fault(**fault) for fault in data.get("faults", [])],
         )
 

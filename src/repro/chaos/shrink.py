@@ -6,8 +6,17 @@ one fault at a time, re-running the schedule after each removal, and
 keeps any removal that still fails — restarting the scan after every
 success so removals that only become possible together are found. The
 fixpoint is a locally-minimal schedule: removing any single remaining
-fault makes the failure disappear. That is the artifact worth
-committing as a regression test.
+fault makes the failure disappear.
+
+A second pass then minimizes the *fields* of the surviving faults:
+trigger delays (``after``) and recovery re-trigger delays
+(``restart_after``) are zeroed, and fault times (``at``) are rounded
+to coarse grids — each simplification kept only while the schedule
+still fails. Generated schedules carry random-looking constants
+(``at=0.0031874…``); the minimized artifact should say ``at=0.003``
+when the millisecond is all the bug needs, so a reader can tell
+load-bearing timing from generator noise. That doubly-minimal
+schedule is the artifact worth committing as a regression test.
 
 Determinism makes this sound: the same schedule always produces the
 same result, so "still fails" is a property of the schedule, not of
@@ -16,11 +25,14 @@ the run.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
-from repro.chaos.schedule import Schedule
+from repro.chaos.schedule import Fault, Schedule
 
 __all__ = ["shrink_schedule"]
+
+# at-rounding grids, coarsest first (1 ms, then 0.1 ms).
+_TIME_GRIDS = (1e-3, 1e-4)
 
 
 def _default_fails(schedule: Schedule) -> bool:
@@ -34,13 +46,15 @@ def shrink_schedule(
     fails: Optional[Callable[[Schedule], bool]] = None,
     max_runs: int = 64,
 ) -> Tuple[Schedule, int]:
-    """Minimize a failing schedule to the fewest faults that still fail.
+    """Minimize a failing schedule: fewest faults, then simplest fields.
 
     *fails* decides whether a candidate still reproduces (defaults to
     "the campaign reports any violation"). Returns the minimized
-    schedule and the number of candidate runs spent. The input schedule
-    itself is never re-run — callers invoke the shrinker because they
-    already saw it fail.
+    schedule and the number of candidate runs spent (both passes share
+    the ``max_runs`` budget; deletions spend first — a removed fault
+    simplifies more than any field tweak). The input schedule itself
+    is never re-run — callers invoke the shrinker because they already
+    saw it fail.
     """
     if fails is None:
         fails = _default_fails
@@ -58,4 +72,42 @@ def shrink_schedule(
             index = 0  # restart: earlier faults may now be removable
         else:
             index += 1
+    current, runs = _minimize_fields(current, fails, runs, max_runs)
+    return current, runs
+
+
+def _field_candidates(fault: Fault) -> Iterator[Dict[str, float]]:
+    """Single-field simplifications, most aggressive first."""
+    if fault.after != 0.0:
+        yield {"after": 0.0}
+    if fault.restart_after != 0.0:
+        yield {"restart_after": 0.0}
+    for grid in _TIME_GRIDS:
+        rounded = round(fault.at / grid) * grid
+        if rounded != fault.at:
+            yield {"at": rounded}
+
+
+def _minimize_fields(
+    current: Schedule,
+    fails: Callable[[Schedule], bool],
+    runs: int,
+    max_runs: int,
+) -> Tuple[Schedule, int]:
+    """Greedy per-fault field simplification to a fixpoint."""
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for index in range(len(current.faults)):
+            for changes in _field_candidates(current.faults[index]):
+                if runs >= max_runs:
+                    return current, runs
+                candidate = current.with_fault(index, **changes)
+                runs += 1
+                if fails(candidate):
+                    current = candidate
+                    progress = True
+                    # The fault changed under us; re-enumerate its
+                    # remaining candidates on the next fixpoint pass.
+                    break
     return current, runs

@@ -7,6 +7,8 @@ Usage (also via ``python -m repro``)::
     python -m repro steady --workload smallbank --protocol tradlog
     python -m repro failover --workload tpcc --crash memory
     python -m repro recovery-latency --coordinators 1 8 32 64
+    python -m repro perf --collapsed kernel.folded
+    python -m repro perf --bench --baseline benchmarks/results/BENCH_KERNEL.json
 
 Every command prints the same tables/series the benchmark harness
 writes, so the paper's experiments are reproducible without pytest.
@@ -196,6 +198,47 @@ def build_parser() -> argparse.ArgumentParser:
              "as replayable JSON artifacts",
     )
     _add_sanitize_flag(chaos)
+
+    perf = sub.add_parser(
+        "perf",
+        help="wall-clock kernel profiling and events/sec benchmarks",
+    )
+    perf.add_argument(
+        "--bench", action="store_true",
+        help="run the events/sec fleet sweep (coordinators x key space) "
+             "instead of a profiled steady-state run",
+    )
+    perf.add_argument("--workload", default="micro")
+    perf.add_argument("--protocol", default="pandora", choices=PROTOCOLS)
+    perf.add_argument("--write-ratio", type=float, default=1.0)
+    perf.add_argument("--duration-ms", type=float, default=20.0)
+    perf.add_argument(
+        "--top", type=int, default=20,
+        help="rows in the hottest-sites table (default 20)",
+    )
+    perf.add_argument(
+        "--collapsed", metavar="PATH", default=None,
+        help="write collapsed stacks to PATH (the 'a;b;c <ns>' format "
+             "flamegraph.pl and speedscope ingest)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=3,
+        help="with --bench: wall-time repeats per fleet (best is kept)",
+    )
+    perf.add_argument(
+        "--snapshot", metavar="NAME", default=None,
+        help="with --bench: write benchmarks/results/BENCH_<NAME>.json",
+    )
+    perf.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="with --bench: compare events/sec against a committed "
+             "BENCH_KERNEL.json and exit 1 on regression",
+    )
+    perf.add_argument(
+        "--tolerance", type=float, default=None,
+        help="fractional events/sec drop allowed vs the baseline "
+             "(default: the baseline's own tolerance field, 0.25)",
+    )
 
     report = sub.add_parser(
         "obs-report",
@@ -392,6 +435,83 @@ def _cmd_chaos(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.bench import kernelperf
+
+    if args.bench:
+        results = kernelperf.run_suite(repeats=args.repeats)
+        print(kernelperf.format_suite(results))
+        payload = kernelperf.suite_payload(
+            results,
+            tolerance=(
+                args.tolerance
+                if args.tolerance is not None
+                else kernelperf.DEFAULT_TOLERANCE
+            ),
+        )
+        if args.snapshot:
+            from repro.bench.report import write_bench_snapshot
+
+            write_bench_snapshot(args.snapshot, payload)
+        if args.baseline:
+            import json as json_module
+
+            try:
+                with open(args.baseline) as handle:
+                    baseline = json_module.load(handle)
+            except (OSError, ValueError) as error:
+                raise SystemExit(
+                    f"cannot read baseline {args.baseline!r}: {error}"
+                )
+            failures = kernelperf.compare_to_baseline(
+                payload, baseline, tolerance=args.tolerance
+            )
+            if failures:
+                print("kernel-perf regression vs baseline:")
+                for failure in failures:
+                    print(f"  {failure}")
+                return 1
+            print(f"kernel-perf: within tolerance of {args.baseline}")
+        return 0
+
+    # Profiled steady-state run: wall-time attribution per subsystem /
+    # site / txn phase. A lightweight Obs (no tracer, no flight) rides
+    # along purely so TxnTrace.focus asserts phases to the profiler.
+    from repro.obs import Obs
+    from repro.obs.profile import KernelProfiler
+
+    factory = _workload_factory(args.workload, args.write_ratio)
+    profiler = KernelProfiler()
+    obs = Obs(trace=False, flight=False)
+    profiler.run_begin()
+    result = run_steady_state(
+        factory,
+        args.protocol,
+        duration=args.duration_ms * 1e-3,
+        obs=obs,
+        profiler=profiler,
+    )
+    profiler.run_end()
+    print(result.row())
+    print()
+    print(profiler.report(top=args.top))
+    print(
+        "note: 'run wall' brackets cluster build + run; use "
+        "`repro perf --bench` for clean events/sec numbers."
+    )
+    if args.collapsed:
+        try:
+            with open(args.collapsed, "w") as handle:
+                for line in profiler.collapsed():
+                    handle.write(line + "\n")
+        except OSError as error:
+            raise SystemExit(
+                f"cannot write collapsed stacks to {args.collapsed!r}: {error}"
+            )
+        print(f"collapsed stacks -> {args.collapsed}")
+    return 0
+
+
 def _cmd_obs_report(args) -> int:
     from repro.obs.report import (
         check_log_write_claim,
@@ -434,6 +554,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "failover": _cmd_failover,
         "recovery-latency": _cmd_recovery_latency,
         "chaos": _cmd_chaos,
+        "perf": _cmd_perf,
         "obs-report": _cmd_obs_report,
     }
     return handlers[args.command](args)

@@ -44,16 +44,25 @@ RECOVERY_SERVER_ID = 10_000
 class Cluster:
     """A fully wired simulated deployment."""
 
-    def __init__(self, config: ClusterConfig, workload, obs=None, sanitizer=None) -> None:
+    def __init__(
+        self, config: ClusterConfig, workload, obs=None, sanitizer=None, profiler=None
+    ) -> None:
         config.validate()
         self.config = config
         self.workload = workload
         # Observability facade shared by every layer; the no-op default
         # keeps all instrumented hot paths at a single empty call.
         self.obs = obs if obs is not None else NOOP_OBS
-        self.sim = Simulator()
+        self.sim = Simulator(profiler=profiler)
         self.rng = random.Random(config.seed)
         self.network = Network(config.network, random.Random(config.seed + 1))
+        # Wall-clock profiler propagation: the network and (enabled)
+        # obs facade share the simulator's profiler so Network.delay
+        # frames and TxnTrace.focus phase assertions land in one place.
+        # NOOP_OBS is slotted and must stay untouched.
+        self.network.profiler = self.sim.profiler
+        if self.obs.enabled and self.sim.profiler.enabled:
+            self.obs.profiler = self.sim.profiler
 
         # Memory servers.
         self.memory_nodes: Dict[int, MemoryNode] = {
@@ -86,6 +95,7 @@ class Cluster:
                 check_interval=config.fd_check_interval,
                 replicas=config.fd_replicas,
                 agreement_delay=config.fd_agreement_delay,
+                redetect_interval=config.fd_redetect_interval,
             )
         else:
             self.fd = FailureDetector(
@@ -93,6 +103,7 @@ class Cluster:
                 self.id_allocator,
                 timeout=config.fd_timeout,
                 check_interval=config.fd_check_interval,
+                redetect_interval=config.fd_redetect_interval,
             )
 
         self.fd.obs = self.obs

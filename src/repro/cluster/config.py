@@ -50,6 +50,10 @@ class ClusterConfig:
     distributed_fd: bool = False
     fd_replicas: int = 3
     fd_agreement_delay: float = 2e-3
+    # Re-declare a dead compute node whose recovery died mid-flight
+    # after this much post-declaration silence (None = declare once,
+    # the historical behaviour). See FailureDetector._redetect_pass.
+    fd_redetect_interval: Optional[float] = None
 
     # Recovery.
     drain_delay: float = 0.5e-3

@@ -46,6 +46,11 @@ from repro.obs.metrics import (
     NULL_HISTOGRAM,
     render_rows,
 )
+from repro.obs.profile import (
+    KernelProfiler,
+    NULL_PROFILER,
+    NullKernelProfiler,
+)
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.util.stats import Histogram
 
@@ -63,6 +68,9 @@ __all__ = [
     "FlightRecorder",
     "NullFlightRecorder",
     "NULL_FLIGHT",
+    "KernelProfiler",
+    "NullKernelProfiler",
+    "NULL_PROFILER",
     "TXN_PHASES",
 ]
 
@@ -105,6 +113,9 @@ class TxnTrace:
     def focus(self, phase: Optional[str] = None) -> None:
         """Claim flight-record attribution for verbs posted next."""
         self.obs.flight.focus(self.rec, phase)
+        # The same assertion drives the wall-clock profiler's
+        # per-phase rollup of verb-post frames.
+        self.obs.profiler.set_phase(phase)
 
     def lock_event(self, event: str, table_id: int, slot: int, now: float) -> None:
         """Record a lock conflict/steal event on the flight record."""
@@ -135,6 +146,7 @@ class TxnTrace:
             args={"txn_id": self.txn_id, "protocol": self.protocol},
         )
         self.obs.flight.close(self.rec, outcome, now, writes)
+        self.obs.profiler.set_phase(None)
 
 
 class _NullTxnTrace:
@@ -182,6 +194,9 @@ class Obs:
         self.flight: FlightRecorder = (  # type: ignore[assignment]
             FlightRecorder() if flight else NULL_FLIGHT
         )
+        # Wall-clock kernel profiler; the cluster builder swaps in an
+        # enabled KernelProfiler when the run is profiled.
+        self.profiler = NULL_PROFILER
         # Run-level facts (protocol, seed, replication degree, ...) the
         # report layer needs but events don't carry; populated by the
         # cluster builder, exported as the JSONL meta line.
@@ -397,6 +412,7 @@ class NullObs:
     tracer = NULL_TRACER
     trace_verbs = False
     flight = NULL_FLIGHT
+    profiler = NULL_PROFILER
     run_meta: Dict[str, Any] = {}
 
     def set_run_meta(self, **meta) -> None:

@@ -15,6 +15,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.obs.profile import NULL_PROFILER
+
 __all__ = ["NetworkConfig", "Network"]
 
 
@@ -57,9 +59,21 @@ class Network:
         config.validate()
         self.config = config
         self._rng = rng
+        # Wall-clock profiler hook; the cluster builder swaps in the
+        # simulator's enabled profiler. Same no-op discipline as the
+        # obs/sanitizer hooks on the queue pair.
+        self.profiler = NULL_PROFILER
 
     def delay(self, size_bytes: int) -> float:
         """One-way delay for a message of *size_bytes*."""
+        profiler = self.profiler
+        profiler.push("network", "delay")
+        try:
+            return self._delay(size_bytes)
+        finally:
+            profiler.pop()
+
+    def _delay(self, size_bytes: int) -> float:
         cfg = self.config
         delay = cfg.one_way_latency + size_bytes / cfg.bandwidth_bytes_per_sec
         if cfg.jitter:

@@ -86,22 +86,45 @@ class QueuePair:
         """
         self.posted_verbs += 1
         posted_at = self.sim.now
-        self.obs.on_verb_post(
-            kind,
-            self.compute_id,
-            self.memory_node.node_id,
-            request_size + VERB_HEADER_BYTES,
-            posted_at,
-        )
-        # Flight-recorder attribution: returns a token the completion
-        # path fills with the measured latency (None when disabled or
-        # the verb is system traffic with no focused attempt).
-        flight_token = self.obs.flight.on_post(
-            kind, self.compute_id, self.memory_node.node_id, posted_at
-        )
-        self.sanitizer.on_post(
-            self.compute_id, self.memory_node.node_id, kind, args, posted_at
-        )
+        profiler = self.sim.profiler
+        # The rdma.post frame also carries the ambient txn-phase tag
+        # (asserted by TxnTrace.focus), feeding the per-phase wall-time
+        # rollup in `repro perf`.
+        profiler.push("rdma.post", kind)
+        try:
+            return self._post(kind, args, request_size, signaled, posted_at, profiler)
+        finally:
+            profiler.pop()
+
+    def _post(
+        self,
+        kind: str,
+        args: Tuple,
+        request_size: int,
+        signaled: bool,
+        posted_at: float,
+        profiler: Any,
+    ) -> Event:
+        profiler.push("shim", "verb-post")
+        try:
+            self.obs.on_verb_post(
+                kind,
+                self.compute_id,
+                self.memory_node.node_id,
+                request_size + VERB_HEADER_BYTES,
+                posted_at,
+            )
+            # Flight-recorder attribution: returns a token the completion
+            # path fills with the measured latency (None when disabled or
+            # the verb is system traffic with no focused attempt).
+            flight_token = self.obs.flight.on_post(
+                kind, self.compute_id, self.memory_node.node_id, posted_at
+            )
+            self.sanitizer.on_post(
+                self.compute_id, self.memory_node.node_id, kind, args, posted_at
+            )
+        finally:
+            profiler.pop()
         arrival = max(
             self._last_request_arrival,
             self.sim.now + self.network.delay(request_size + VERB_HEADER_BYTES),
@@ -166,19 +189,26 @@ class QueuePair:
         posted_at: float = 0.0,
         flight_token: Optional[Any] = None,
     ) -> None:
-        arrival = max(
-            self._last_response_arrival,
-            self.sim.now + self.network.delay(response_size + VERB_HEADER_BYTES),
-        )
-        self._last_response_arrival = arrival
-        self.obs.on_verb_complete(
-            kind,
-            self.memory_node.node_id,
-            arrival - posted_at,
-            response_size + VERB_HEADER_BYTES,
-            error is None,
-        )
-        self.obs.flight.on_complete(flight_token, arrival - posted_at, error is None)
+        profiler = self.sim.profiler
+        profiler.push("rdma.complete", kind)
+        try:
+            arrival = max(
+                self._last_response_arrival,
+                self.sim.now + self.network.delay(response_size + VERB_HEADER_BYTES),
+            )
+            self._last_response_arrival = arrival
+            self.obs.on_verb_complete(
+                kind,
+                self.memory_node.node_id,
+                arrival - posted_at,
+                response_size + VERB_HEADER_BYTES,
+                error is None,
+            )
+            self.obs.flight.on_complete(
+                flight_token, arrival - posted_at, error is None
+            )
+        finally:
+            profiler.pop()
 
         def deliver() -> None:
             # finish_now runs waiters synchronously — we are already

@@ -30,12 +30,15 @@ class DistributedFailureDetector(FailureDetector):
         check_interval: float = 0.5e-3,
         replicas: int = 3,
         agreement_delay: float = 2e-3,
+        redetect_interval=None,
     ) -> None:
         if replicas < 1 or replicas % 2 == 0:
             raise ValueError("replica count must be a positive odd number")
         if agreement_delay < 0:
             raise ValueError("agreement_delay must be non-negative")
-        super().__init__(sim, id_allocator, timeout, check_interval)
+        super().__init__(
+            sim, id_allocator, timeout, check_interval, redetect_interval
+        )
         self.replica_count = replicas
         self.agreement_delay = agreement_delay
         # Per-replica last-heartbeat tables.
@@ -55,9 +58,14 @@ class DistributedFailureDetector(FailureDetector):
 
         def make_sink(index: int) -> Callable[[str, int, float], None]:
             def sink(kind: str, node_id: int, sent_at: float) -> None:
-                key = (kind, node_id)
-                if key in self._registered and key not in self._blackholed:
-                    self._replica_heartbeats[index][key] = self.sim.now
+                profiler = self.sim.profiler
+                profiler.push("fd", "heartbeat")
+                try:
+                    key = (kind, node_id)
+                    if key in self._registered and key not in self._blackholed:
+                        self._replica_heartbeats[index][key] = self.sim.now
+                finally:
+                    profiler.pop()
 
             return sink
 
@@ -85,6 +93,7 @@ class DistributedFailureDetector(FailureDetector):
                 if timed_out >= majority:
                     self._suspected.add(key)
                     yield from self._declare_failed(key, node)
+            yield from self._redetect_pass()
 
     def _declare_failed(self, key, node) -> Generator[Event, Any, None]:
         # Quorum commit of the failure decision before acting on it.

@@ -31,13 +31,24 @@ class FailureDetector:
         id_allocator: Optional[IdAllocator] = None,
         timeout: float = 5e-3,
         check_interval: float = 0.5e-3,
+        redetect_interval: Optional[float] = None,
     ) -> None:
         if timeout <= 0 or check_interval <= 0:
             raise ValueError("timeout and check_interval must be positive")
+        if redetect_interval is not None and redetect_interval <= 0:
+            raise ValueError("redetect_interval must be positive")
         self.sim = sim
         self.id_allocator = id_allocator or IdAllocator()
         self.timeout = timeout
         self.check_interval = check_interval
+        # Re-detection (§3.2.2 step 1 rerun): a declared-failed compute
+        # node whose recovery *died mid-flight* (the RC itself crashed)
+        # is declared again after this much silence, so a fresh
+        # recovery starts over — safe because every step is idempotent.
+        # None (the default) preserves the historical declare-once
+        # behaviour: ``_suspected`` permanently gates re-declaration.
+        self.redetect_interval = redetect_interval
+        self._last_declared: Dict[Tuple[str, int], float] = {}
         self.recovery_manager = None  # wired by the cluster builder
         self.obs = NOOP_OBS  # wired by the cluster builder
         self._last_heartbeat: Dict[Tuple[str, int], float] = {}
@@ -77,9 +88,14 @@ class FailureDetector:
 
     def heartbeat(self, kind: str, node_id: int, sent_at: float) -> None:
         """Record a heartbeat arrival for (kind, node)."""
-        key = (kind, node_id)
-        if key in self._registered and key not in self._blackholed:
-            self._last_heartbeat[key] = self.sim.now
+        profiler = self.sim.profiler
+        profiler.push("fd", "heartbeat")
+        try:
+            key = (kind, node_id)
+            if key in self._registered and key not in self._blackholed:
+                self._last_heartbeat[key] = self.sim.now
+        finally:
+            profiler.pop()
 
     # -- partitions (false-positive injection) ---------------------------------
 
@@ -121,6 +137,39 @@ class FailureDetector:
                 if now - self._last_heartbeat[key] > self.timeout:
                     self._suspected.add(key)
                     yield from self._declare_failed(key, node)
+            yield from self._redetect_pass()
+
+    def _redetect_pass(self) -> Generator[Event, Any, None]:
+        """Re-declare dead compute nodes whose recovery never finished.
+
+        A node stays in ``_suspected`` forever once declared; without
+        re-detection, a recovery process that crashes mid-flight (the
+        RC itself failing) leaves the node down with its coordinator
+        ids never marked failed — permanently, since nothing declares
+        it again. A candidate for re-declaration must be: actually dead
+        (never a false positive — the node would heartbeat), not
+        currently being recovered, with recovery demonstrably
+        unfinished (some coordinator id not yet marked failed), and
+        quiet for ``redetect_interval`` since the last declaration.
+        """
+        if self.redetect_interval is None or self.recovery_manager is None:
+            return
+        now = self.sim.now
+        for key in sorted(self._suspected):
+            kind, _node_id = key
+            if kind != "compute":
+                continue
+            node = self._registered.get(key)
+            if node is None or node.alive:
+                continue
+            if key in self.recovery_manager._in_progress:
+                continue
+            if now - self._last_declared.get(key, 0.0) < self.redetect_interval:
+                continue
+            coord_ids = node.coordinator_ids()
+            if all(cid in self.id_allocator.failed for cid in coord_ids):
+                continue
+            yield from self._declare_failed(key, node)
 
     def _declare_failed(self, key, node) -> Generator[Event, Any, None]:
         """Hand a suspicion to the recovery manager.
@@ -128,6 +177,7 @@ class FailureDetector:
         Subclasses insert the quorum-agreement delay here (Figure 4b).
         """
         kind, node_id = key
+        self._last_declared[key] = self.sim.now
         self.detections.append((self.sim.now, kind, node_id))
         # The heartbeat-miss window: silence from the last heartbeat
         # until the detector declared the node failed.

@@ -177,7 +177,11 @@ class Process(Event):
         return self._alive
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at its current yield."""
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Idempotent on dead processes: interrupting a process that has
+        already finished (or been killed) is a no-op, like SimPy's.
+        """
         if not self._alive:
             return
         target, self._target = self._target, None
@@ -223,7 +227,16 @@ class Process(Event):
     # -- generator driving ------------------------------------------------
 
     def _on_target(self, event: Event) -> None:
-        if not self._alive:
+        if not self._alive or event is not self._target:
+            # Stale wake-up. interrupt()/kill() clear ``_target`` and
+            # strip this callback from the target's *pending* callback
+            # list — but that removal cannot reach a callback already
+            # snapshotted by an in-flight ``_run_callbacks`` (the event
+            # swaps in a fresh list before invoking), nor one parked in
+            # the kernel queue by ``add_callback``'s late-subscription
+            # path. If such an orphaned wake-up then fires after the
+            # process has moved on to a *new* yield target, resuming
+            # here would double-drive the generator with a stale value.
             return
         self._target = None
         if event._exception is not None:
@@ -234,6 +247,14 @@ class Process(Event):
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
         if not self._alive:
             return
+        profiler = self.sim.profiler
+        profiler.push("resume", self.name)
+        try:
+            self._resume_inner(value, exc)
+        finally:
+            profiler.pop()
+
+    def _resume_inner(self, value: Any, exc: Optional[BaseException]) -> None:
         try:
             if exc is not None:
                 target = self.generator.throw(exc)
@@ -297,14 +318,19 @@ class AllOf(_Condition):
     __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
-            return
-        if event._exception is not None:
-            self.fail(event._exception)
-            return
-        self._pending_count -= 1
-        if self._pending_count == 0:
-            self.succeed([child._value for child in self.events])
+        profiler = self.sim.profiler
+        profiler.push("fanin", "AllOf")
+        try:
+            if self.triggered:
+                return
+            if event._exception is not None:
+                self.fail(event._exception)
+                return
+            self._pending_count -= 1
+            if self._pending_count == 0:
+                self.succeed([child._value for child in self.events])
+        finally:
+            profiler.pop()
 
 
 class AnyOf(_Condition):
@@ -322,22 +348,46 @@ class AnyOf(_Condition):
             self._index_of.setdefault(id(event), index)
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
-            return
-        if event._exception is not None:
-            self.fail(event._exception)
-            return
-        self.succeed((self._index_of[id(event)], event._value))
+        profiler = self.sim.profiler
+        profiler.push("fanin", "AnyOf")
+        try:
+            if self.triggered:
+                return
+            if event._exception is not None:
+                self.fail(event._exception)
+                return
+            self.succeed((self._index_of[id(event)], event._value))
+        finally:
+            profiler.pop()
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, event)."""
+    """The event loop: a priority queue of (time, seq, event).
 
-    def __init__(self) -> None:
+    *profiler*, when given an enabled
+    :class:`~repro.obs.profile.KernelProfiler`, swaps the dispatch
+    methods for instrumented twins at construction time — so the
+    default (unprofiled) loop pays literally zero extra work: no flag
+    test, no no-op call, not even an attribute load in ``step``. The
+    profiler only reads the wall clock; virtual-time behaviour is
+    bit-identical either way.
+    """
+
+    def __init__(self, profiler: Optional[Any] = None) -> None:
         self.now: float = 0.0
         self._queue: List[tuple] = []
         self._seq = 0
         self._processed_events = 0
+        if profiler is None:
+            from repro.obs.profile import NULL_PROFILER
+
+            profiler = NULL_PROFILER
+        self.profiler = profiler
+        if profiler.enabled:
+            # Instance-attribute shadowing: these bindings win over the
+            # class methods for this instance only.
+            self.step = self._profiled_step
+            self._schedule_at = self._profiled_schedule_at
 
     # -- scheduling --------------------------------------------------------
 
@@ -396,6 +446,29 @@ class Simulator:
             # Raw callable scheduled via call_soon / call_at.
             entry()
         self._processed_events += 1
+
+    def _profiled_step(self) -> None:
+        """``step`` twin with wall-clock attribution around dispatch."""
+        when, _seq, entry = heapq.heappop(self._queue)
+        if when < self.now:
+            raise AssertionError("time went backwards")
+        self.now = when
+        profiler = self.profiler
+        profiler.begin_step(entry)
+        try:
+            if isinstance(entry, Event):
+                if entry._state == _TRIGGERED:
+                    entry._run_callbacks()
+            else:
+                entry()
+        finally:
+            profiler.end_step()
+        self._processed_events += 1
+
+    def _profiled_schedule_at(self, when: float, event: Event) -> None:
+        """``_schedule_at`` twin counting queue pushes per source site."""
+        self.profiler.on_schedule(event)
+        Simulator._schedule_at(self, when, event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or virtual time reaches *until*."""

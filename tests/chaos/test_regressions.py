@@ -44,11 +44,17 @@ The bugs, by artifact:
   coordinator id (CHAOS-LOCK). Fix: await per event, tolerating
   RdmaError — dead-server copies are judged by the survivors.
 
-The fence-path hardening (awaiting link-revocation RPCs per event
-instead of ``all_of``) has no standalone artifact: its failure mode —
-a crashed recovery process — is exactly what ``recovery-claim-leak``
-exercises, and with the claim released in ``finally`` the retried
-recovery heals the cluster.
+* ``per-event-fence-await.json`` — the fence step awaited its
+  link-revocation RPCs with ``all_of``; a memory server that died
+  between a fence's post and its arrival (a window a retransmission
+  storm stretches to tens of microseconds — hence the ``net_degrade``
+  loss spike over the recovery window) failed the composite and
+  aborted the whole recovery, leaving the node unrecovered and its
+  stray locks unstealable (CHAOS-QUIESCE + CHAOS-LOCK). Fix: await
+  per event, tolerating RdmaError — a dead server cannot serve the
+  fenced node's verbs anyway. The artifact sets ``fd_redetect``
+  to false: FD re-detection restarts the aborted recovery and heals
+  the cluster, masking the bug it pins.
 """
 
 import pathlib

@@ -79,3 +79,103 @@ class TestShrinker:
 
         shrink_schedule(schedule, fails=fails)
         assert all(candidate.to_dict() != schedule.to_dict() for candidate in seen)
+
+
+class TestFieldMinimization:
+    """The second pass: zero delays, round times (not just delete)."""
+
+    def test_zeroes_irrelevant_delays_and_rounds_times(self):
+        """A known-shrinkable schedule: the crash matters, its exact
+        microseconds and the kill delays do not."""
+        schedule = Schedule(
+            seed=0,
+            family="recovery_crash",
+            faults=[
+                Fault(kind="crash_compute", node=1, at=0.0031874),
+                Fault(
+                    kind="crash_recovery",
+                    node=1,
+                    after=1.7e-5,
+                    restart_after=6.3e-4,
+                ),
+            ],
+        )
+
+        def fails(candidate):
+            # Reproduces as long as node 1 crashes and its recovery is
+            # killed — timing is generator noise.
+            kinds = {fault.kind for fault in candidate.faults}
+            return kinds == {"crash_compute", "crash_recovery"}
+
+        minimized, _runs = shrink_schedule(schedule, fails=fails)
+        crash, kill = minimized.faults
+        assert crash.at == 0.003  # rounded to the 1ms grid
+        assert kill.after == 0.0
+        assert kill.restart_after == 0.0
+
+    def test_keeps_load_bearing_fields(self):
+        """Fields the failure depends on are left alone."""
+        schedule = Schedule(
+            seed=0,
+            family="recovery_crash",
+            faults=[
+                Fault(kind="crash_recovery", node=0, after=1.7e-5, restart_after=0.0)
+            ],
+        )
+
+        def fails(candidate):
+            # The kill only reproduces inside the recovery window.
+            return candidate.faults[0].after == 1.7e-5
+
+        minimized, _runs = shrink_schedule(schedule, fails=fails)
+        assert minimized.faults[0].after == 1.7e-5
+
+    def test_falls_back_to_finer_grid(self):
+        """When the millisecond grid kills the repro, 0.1ms is tried."""
+        schedule = Schedule(
+            seed=0,
+            family="cascade",
+            faults=[Fault(kind="crash_compute", node=0, at=0.0034874)],
+        )
+
+        def fails(candidate):
+            # Needs the crash in [3.3ms, 3.6ms): 0.003 fails, 0.0035 works.
+            return 3.3e-3 <= candidate.faults[0].at < 3.6e-3
+
+        minimized, _runs = shrink_schedule(schedule, fails=fails)
+        assert minimized.faults[0].at == 0.0035
+
+    def test_field_pass_shares_run_budget(self):
+        schedule = Schedule(
+            seed=0,
+            family="cascade",
+            faults=[
+                Fault(kind="crash_compute", node=0, at=0.0031874, after=1e-5),
+                Fault(kind="crash_compute", node=1, at=0.0042113, after=2e-5),
+            ],
+        )
+        calls = []
+
+        def fails(candidate):
+            calls.append(1)
+            return True
+
+        minimized, runs = shrink_schedule(schedule, fails=fails, max_runs=2)
+        assert runs == 2
+        assert len(calls) == 2
+        # The budget ran out after zeroing `after`, before `at` rounding.
+        assert minimized.faults[0].after == 0.0
+        assert minimized.faults[0].at == 0.0042113
+
+    def test_fixpoint_is_stable(self):
+        """Re-shrinking an already-minimal schedule does no runs beyond
+        probing (every candidate fails to reproduce, nothing changes)."""
+        schedule = Schedule(
+            seed=0,
+            family="cascade",
+            faults=[Fault(kind="crash_compute", node=0, at=0.003)],
+        )
+        minimized, _runs = shrink_schedule(schedule, fails=lambda s: True)
+        assert minimized.faults[0].at == 0.003
+        again, runs_again = shrink_schedule(minimized, fails=lambda s: True)
+        assert again.to_dict() == minimized.to_dict()

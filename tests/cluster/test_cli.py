@@ -88,3 +88,73 @@ class TestChaosCommand:
         assert len(written) == 1
         schedule = Schedule.from_json(written[0].read_text())
         assert schedule.protocol == "ford"
+
+
+class TestPerfCommand:
+    def test_perf_defaults(self):
+        args = build_parser().parse_args(["perf"])
+        assert args.workload == "micro"
+        assert args.protocol == "pandora"
+        assert not args.bench
+        assert args.repeats == 3
+        assert args.tolerance is None
+        assert args.collapsed is None
+
+    def test_perf_profile_run(self, capsys, tmp_path):
+        collapsed = tmp_path / "kernel.folded"
+        assert main([
+            "perf", "--duration-ms", "2", "--collapsed", str(collapsed)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock by subsystem" in out
+        assert "hottest sites" in out
+        assert "verb-post wall time by txn phase" in out
+        lines = collapsed.read_text().splitlines()
+        assert lines, "no collapsed stacks written"
+        # Every line is flamegraph.pl format: "frame;frame;... <ns>".
+        for line in lines:
+            path, ns = line.rsplit(" ", 1)
+            assert path
+            assert int(ns) > 0
+
+    def test_perf_bench_gates_against_baseline(self, capsys, tmp_path, monkeypatch):
+        """--bench --baseline exits 1 on a regression, 0 within tolerance."""
+        import json
+
+        from repro.bench import kernelperf
+        from repro.bench.kernelperf import KernelPerfResult
+
+        def fake_suite(eps):
+            return [
+                KernelPerfResult(
+                    fleet="tiny", coordinators=2, keys=200,
+                    virtual_duration=1e-3, steps=1000,
+                    wall_seconds=1000 / eps, repeats=1,
+                )
+            ]
+
+        baseline = tmp_path / "BENCH_KERNEL.json"
+        baseline.write_text(
+            json.dumps(kernelperf.suite_payload(fake_suite(100.0)))
+        )
+
+        monkeypatch.setattr(
+            kernelperf, "run_suite", lambda repeats: fake_suite(90.0)
+        )
+        assert main(["perf", "--bench", "--baseline", str(baseline)]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+        monkeypatch.setattr(
+            kernelperf, "run_suite", lambda repeats: fake_suite(50.0)
+        )
+        assert main(["perf", "--bench", "--baseline", str(baseline)]) == 1
+        assert "regression vs baseline" in capsys.readouterr().out
+
+    def test_perf_bench_missing_baseline_exits(self, tmp_path, monkeypatch):
+        from repro.bench import kernelperf
+
+        monkeypatch.setattr(kernelperf, "run_suite", lambda repeats: [])
+        with pytest.raises(SystemExit):
+            main([
+                "perf", "--bench", "--baseline", str(tmp_path / "missing.json")
+            ])

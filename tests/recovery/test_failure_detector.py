@@ -110,3 +110,73 @@ class TestFencing:
         )
         # ...and the node self-fenced rather than split-braining.
         assert node.fenced
+
+
+class TestRedetection:
+    """A dead node whose recovery itself died must be re-declared."""
+
+    def _crash_and_kill_recovery(self, cluster, until=0.060):
+        """Crash node 0 at 10ms and kill its recovery just after the
+        fence step, mid-flight."""
+        sim = cluster.sim
+        recovery = cluster.recovery
+        cluster.crash_compute(0, at=0.010)
+
+        def assassin():
+            while ("compute", 0) not in recovery._in_progress:
+                yield sim.timeout(5e-6)
+            yield sim.timeout(5e-6)
+            assert recovery.kill_recovery("compute", 0)
+
+        sim.process(assassin(), name="test-rc-assassin")
+        cluster.run(until=until)
+
+    def test_killed_recovery_heals_with_redetect(self):
+        cluster = make_cluster(
+            fd_timeout=5e-3, fd_redetect_interval=2e-3, restart_failed_after=2e-3
+        )
+        self._crash_and_kill_recovery(cluster)
+        finished = [r for r in cluster.recovery.records if r.finished_at > 0]
+        assert finished, "re-detection never restarted the killed recovery"
+        # The full recovery marked every id failed and restarted the node.
+        assert cluster.compute_nodes[0].alive
+        redeclared = [d for d in cluster.fd.detections if d[1:] == ("compute", 0)]
+        assert len(redeclared) >= 2
+
+    def test_killed_recovery_stays_dead_without_redetect(self):
+        cluster = make_cluster(
+            fd_timeout=5e-3, fd_redetect_interval=None, restart_failed_after=2e-3
+        )
+        self._crash_and_kill_recovery(cluster)
+        finished = [r for r in cluster.recovery.records if r.finished_at > 0]
+        assert finished == []
+        assert not cluster.compute_nodes[0].alive
+
+    def test_redetect_is_rate_limited(self):
+        """While a recovery is being re-run, no duplicate declarations
+        pile up: re-declarations are spaced by the interval."""
+        cluster = make_cluster(
+            fd_timeout=5e-3, fd_redetect_interval=2e-3, restart_failed_after=2e-3
+        )
+        self._crash_and_kill_recovery(cluster)
+        declared = sorted(
+            d[0] for d in cluster.fd.detections if d[1:] == ("compute", 0)
+        )
+        assert all(b - a >= 2e-3 - 1e-9 for a, b in zip(declared, declared[1:]))
+
+    def test_redetect_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_cluster(fd_redetect_interval=-1.0)
+
+    def test_distributed_fd_redetects_too(self):
+        cluster = make_cluster(
+            distributed=True,
+            fd_timeout=5e-3,
+            fd_agreement_delay=1e-3,
+            fd_redetect_interval=2e-3,
+            restart_failed_after=2e-3,
+        )
+        self._crash_and_kill_recovery(cluster, until=0.080)
+        finished = [r for r in cluster.recovery.records if r.finished_at > 0]
+        assert finished
+        assert cluster.compute_nodes[0].alive

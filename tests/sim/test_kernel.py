@@ -351,6 +351,92 @@ class TestCallScheduling:
         with pytest.raises(ValueError):
             sim.call_at(1.0, lambda: None)
 
+    def test_kill_is_idempotent(self, sim):
+        def proc():
+            yield sim.timeout(10.0)
+
+        process = sim.process(proc())
+        sim.run(until=1.0)
+        process.kill()
+        process.kill()  # second kill: no ValueError, no state change
+        sim.run()
+        assert not process.is_alive
+        with pytest.raises(ProcessKilled):
+            process.value
+
+    def test_kill_after_completion_preserves_result(self, sim):
+        """Killing a process whose event is already processed is a
+        no-op: the return value must not be clobbered by ProcessKilled."""
+
+        def proc():
+            yield sim.timeout(1.0)
+            return "done"
+
+        process = sim.process(proc())
+        sim.run()
+        process.kill()
+        process.interrupt()
+        assert process.value == "done"
+
+    def test_interrupt_after_completion_schedules_nothing(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+
+        process = sim.process(proc())
+        sim.run()
+        before = sim.processed_events
+        process.interrupt("late")
+        sim.run()
+        assert sim.processed_events == before
+
+    def test_snapshotted_wakeup_after_interrupt_is_stale(self, sim):
+        """An event triggering in the same tick as an interrupt must not
+        double-drive the generator. ``_run_callbacks`` snapshots the
+        callback list, so ``interrupt()``'s callback strip cannot reach
+        a wake-up already in flight — ``_on_target`` has to recognise
+        it as stale instead.
+        """
+        event = sim.event()
+        got = []
+
+        def proc():
+            try:
+                yield event
+                got.append("value")
+            except Interrupt as interrupt:
+                got.append(("interrupt", interrupt.cause))
+
+        # Subscribe the interrupter *before* the process, so the
+        # snapshot runs it first and the process wake-up is orphaned.
+        process_ref = []
+        event.add_callback(lambda _e: process_ref[0].interrupt("now"))
+        process_ref.append(sim.process(proc()))
+        sim.call_at(1.0, lambda: event.succeed("v"))
+        sim.run()
+        assert got == [("interrupt", "now")]
+
+    def test_stale_wakeup_from_processed_event_after_interrupt(self, sim):
+        """Late-subscription path: yielding an already-processed event
+        parks the wake-up in the kernel queue, out of reach of
+        ``interrupt()``'s strip. The parked wake-up must not deliver
+        the event value to a generator that has been interrupted."""
+        event = sim.event()
+        event.succeed("old")
+        sim.run()
+        got = []
+
+        def proc():
+            try:
+                yield event
+                got.append("value")
+            except Interrupt:
+                got.append("interrupt")
+
+        process = sim.process(proc())
+        sim.call_soon(lambda: process.interrupt())
+        sim.run()
+        assert got == ["interrupt"]
+
     def test_determinism_across_runs(self):
         def build_and_run():
             sim = Simulator()
