@@ -1,0 +1,562 @@
+"""repro.analysis.cfg — generator-aware control-flow graphs for engine code.
+
+Lowers one Python function (typically a protocol-engine *generator*) to
+a small CFG whose nodes are statements and whose edges model:
+
+* normal sequencing; branch edges out of ``if``/``while``/``for`` heads
+  are labeled ``"true"``/``"false"`` so analyses can prune correlated
+  branches (e.g. ``if tx.log_acks:`` guarding the drain of those acks),
+* ``yield`` suspension points — every yield may resume with an injected
+  exception (``RdmaError``/``LinkRevokedError`` from a failed verb) or
+  ``GeneratorExit`` (the process was killed at the suspension point),
+* typed exception edges routed through ``except`` clauses using a small
+  static hierarchy (:data:`EXC_BASES`) of the exceptions that actually
+  flow through the engine,
+* ``finally`` blocks, *duplicated per escape route*, so cleanup code
+  sits on exactly the exceptional paths it runs on,
+* ``return``/``break``/``continue`` routed through enclosing finallys.
+
+Three synthetic terminals close every path: :attr:`CFG.exit` (normal
+return), :attr:`CFG.raise_exit` (an exception escapes the function) and
+:attr:`CFG.kill_exit` (``GeneratorExit`` escapes — the generator was
+killed mid-protocol and recovery takes over). The edge *into* a
+terminal or handler carries the escaping exception's name as its label.
+
+Which exceptions a statement can raise is pluggable: the builder calls
+``raises_for(stmt)`` for every statement node it creates, so the caller
+(protolint) can classify yields by what they await — a crash-point
+yield only dies, a verb ack can fail with ``RdmaError`` — and fold in
+callee summaries for ``yield from self._method()`` calls.
+
+The CFG is built from stdlib ``ast`` only and never imports the code
+it analyzes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "EXC_BASES",
+    "YIELD_RAISES",
+    "exception_matches",
+    "stmt_yield_values",
+    "dotted_name",
+]
+
+# Static exception hierarchy: exc name -> (exc, *bases) as matched by
+# ``except`` clauses. Everything the engine code raises or injects.
+EXC_BASES: Dict[str, Tuple[str, ...]] = {
+    "TxnAbort": ("TxnAbort", "Exception", "BaseException"),
+    "RdmaError": ("RdmaError", "Exception", "BaseException"),
+    "RemoteNodeDownError": (
+        "RemoteNodeDownError", "RdmaError", "Exception", "BaseException",
+    ),
+    "LinkRevokedError": (
+        "LinkRevokedError", "RdmaError", "Exception", "BaseException",
+    ),
+    "GeneratorExit": ("GeneratorExit", "BaseException"),
+    "Exception": ("Exception", "BaseException"),
+    "AssertionError": ("AssertionError", "Exception", "BaseException"),
+    "ValueError": ("ValueError", "Exception", "BaseException"),
+    "KeyError": ("KeyError", "Exception", "BaseException"),
+    "RuntimeError": ("RuntimeError", "Exception", "BaseException"),
+}
+
+# Default model for what resuming at a yield can throw at the generator.
+YIELD_RAISES: Tuple[str, ...] = ("RdmaError", "LinkRevokedError", "GeneratorExit")
+
+
+def exception_matches(handler_names: Optional[Sequence[str]], exc: str) -> bool:
+    """Would ``except <handler_names>`` catch an *exc*? (None = bare.)"""
+    if handler_names is None:
+        return True
+    bases = EXC_BASES.get(exc, (exc, "Exception", "BaseException"))
+    return any(name in bases for name in handler_names)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """'a.b.c' for an attribute chain rooted at a Name, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _YieldFinder(ast.NodeVisitor):
+    """Collect yield expressions of one statement, skipping nested defs."""
+
+    def __init__(self) -> None:
+        self.yields: List[ast.expr] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # a nested def's yields belong to the nested function
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.yields.append(node)
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.yields.append(node)
+        self.generic_visit(node)
+
+
+def stmt_yield_values(stmt: ast.stmt) -> List[ast.expr]:
+    """Yield/YieldFrom expression nodes directly inside one statement.
+
+    Only the statement's own expressions are searched — nested function
+    definitions (and lambdas) keep their yields to themselves, and
+    compound statements report only their header (a ``for`` head is not
+    a yield just because its body yields).
+    """
+    finder = _YieldFinder()
+    if isinstance(stmt, (ast.If, ast.While)):
+        finder.visit(stmt.test)
+    elif isinstance(stmt, ast.For):
+        finder.visit(stmt.iter)
+    elif isinstance(stmt, ast.Try):
+        return []
+    elif isinstance(stmt, ast.With):
+        for item in stmt.items:
+            finder.visit(item.context_expr)
+    else:
+        finder.visit(stmt)
+    return finder.yields
+
+
+class CFGNode:
+    """One CFG node: a statement, or a synthetic entry/terminal."""
+
+    __slots__ = ("node_id", "kind", "stmt", "lineno", "is_yield", "desc", "succs")
+
+    def __init__(
+        self,
+        node_id: int,
+        kind: str,
+        stmt: Optional[ast.stmt] = None,
+        lineno: int = 0,
+        desc: str = "",
+    ) -> None:
+        self.node_id = node_id
+        self.kind = kind  # "entry" | "exit" | "raise" | "kill" | "stmt"
+        self.stmt = stmt
+        self.lineno = lineno
+        self.is_yield = bool(stmt is not None and stmt_yield_values(stmt))
+        self.desc = desc
+        # Ordered out-edges: (target, label). Label "" is plain flow,
+        # "true"/"false" are branch edges, "return" enters exit, and an
+        # exception name marks an exceptional edge.
+        self.succs: List[Tuple["CFGNode", str]] = []
+
+    def edge(self, target: "CFGNode", label: str = "") -> None:
+        if (target, label) not in self.succs:
+            self.succs.append((target, label))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CFGNode #{self.node_id} {self.kind} L{self.lineno} {self.desc!r}>"
+
+
+class CFG:
+    """The graph for one function: entry, statement nodes, terminals."""
+
+    def __init__(self, func: ast.FunctionDef) -> None:
+        self.func = func
+        self.name = func.name
+        self.nodes: List[CFGNode] = []
+        self.entry = self._make("entry", desc="<entry>")
+        self.exit = self._make("exit", desc="<return>")
+        self.raise_exit = self._make("raise", desc="<exception escapes>")
+        self.kill_exit = self._make("kill", desc="<killed (GeneratorExit)>")
+
+    def _make(
+        self, kind: str, stmt: Optional[ast.stmt] = None, desc: str = ""
+    ) -> CFGNode:
+        node = CFGNode(
+            len(self.nodes), kind, stmt, getattr(stmt, "lineno", 0), desc
+        )
+        self.nodes.append(node)
+        return node
+
+    def stmt_nodes(self) -> List[CFGNode]:
+        return [node for node in self.nodes if node.kind == "stmt"]
+
+    def render(self) -> str:
+        """Human-readable edge list (tests and debugging)."""
+        lines = []
+        for node in self.nodes:
+            for target, label in node.succs:
+                tag = f" [{label}]" if label else ""
+                lines.append(
+                    f"#{node.node_id} {node.desc} -> #{target.node_id} "
+                    f"{target.desc}{tag}"
+                )
+        return "\n".join(lines)
+
+
+class _Frame:
+    """One enclosing ``try`` seen from inside one of its zones.
+
+    ``zone`` is "body" (handlers are live) or "cleanup" (a handler or
+    else block: sibling handlers no longer match, only the finally
+    runs). ``handlers`` pairs each clause's caught names (None = bare)
+    with its entry node.
+    """
+
+    __slots__ = ("handlers", "finalbody", "zone")
+
+    def __init__(
+        self,
+        handlers: Sequence[Tuple[Optional[Tuple[str, ...]], CFGNode]],
+        finalbody: Optional[List[ast.stmt]],
+        zone: str,
+    ) -> None:
+        self.handlers = list(handlers)
+        self.finalbody = finalbody
+        self.zone = zone
+
+
+class _Loop:
+    """One enclosing loop: its head and where ``break`` lands."""
+
+    __slots__ = ("head", "break_ends", "frames_len")
+
+    def __init__(self, head: CFGNode, frames_len: int) -> None:
+        self.head = head
+        self.break_ends: List[Tuple[CFGNode, str]] = []
+        self.frames_len = frames_len
+
+
+# An "open end": a node whose fallthrough edge (with this label) still
+# needs a target.
+_Ends = List[Tuple[CFGNode, str]]
+
+
+class _Builder:
+    def __init__(
+        self,
+        cfg: CFG,
+        raises_for: Callable[[ast.stmt], Iterable[str]],
+    ) -> None:
+        self.cfg = cfg
+        self.raises_for = raises_for
+        # Declared names of the innermost handler being built (for
+        # bare ``raise`` re-raises); None outside handlers.
+        self._reraise: Optional[Tuple[str, ...]] = None
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _stmt_node(self, stmt: ast.stmt) -> CFGNode:
+        try:
+            desc = ast.unparse(stmt).split("\n")[0]
+        except Exception:  # pragma: no cover - unparse is total on valid ASTs
+            desc = type(stmt).__name__
+        if isinstance(stmt, ast.If):
+            desc = f"if {ast.unparse(stmt.test)}"
+        elif isinstance(stmt, ast.While):
+            desc = f"while {ast.unparse(stmt.test)}"
+        elif isinstance(stmt, ast.For):
+            desc = f"for {ast.unparse(stmt.target)} in {ast.unparse(stmt.iter)}"
+        if len(desc) > 72:
+            desc = desc[:69] + "..."
+        return self.cfg._make("stmt", stmt, desc)
+
+    def _connect(self, ends: _Ends, target: CFGNode) -> None:
+        for node, label in ends:
+            node.edge(target, label)
+
+    def _route_exception(
+        self, sources: _Ends, exc: str, frames: List[_Frame]
+    ) -> None:
+        """Route *exc* raised at *sources* outward through frames.
+
+        Runs matching handlers, duplicates finally bodies along the
+        way, and falls off into raise_exit / kill_exit.
+        """
+        for index in range(len(frames) - 1, -1, -1):
+            frame = frames[index]
+            outer = frames[:index]
+            if frame.zone == "body":
+                for names, entry in frame.handlers:
+                    if exception_matches(names, exc):
+                        for node, _ in sources:
+                            node.edge(entry, exc)
+                        return
+            if frame.finalbody:
+                entry, ends = self._block(frame.finalbody, outer, [])
+                if entry is not None:
+                    for node, _ in sources:
+                        node.edge(entry, exc)
+                    sources = [(node, exc) for node, _ in ends]
+        target = self.cfg.kill_exit if exc == "GeneratorExit" else self.cfg.raise_exit
+        for node, _ in sources:
+            node.edge(target, exc)
+
+    def _route_through_finallys(
+        self, node: CFGNode, frames: List[_Frame], stop_at: int = 0
+    ) -> _Ends:
+        """Thread *node* through finallys of frames[stop_at:] (for
+        return/break/continue); returns the surviving open ends."""
+        sources: _Ends = [(node, "")]
+        for index in range(len(frames) - 1, stop_at - 1, -1):
+            frame = frames[index]
+            if frame.finalbody:
+                entry, ends = self._block(frame.finalbody, frames[:index], [])
+                if entry is not None:
+                    self._connect(sources, entry)
+                    sources = ends
+        return sources
+
+    # -- statements -----------------------------------------------------------
+
+    def _block(
+        self, stmts: List[ast.stmt], frames: List[_Frame], loops: List[_Loop]
+    ) -> Tuple[Optional[CFGNode], _Ends]:
+        """Build a statement list; returns (entry, open ends)."""
+        entry: Optional[CFGNode] = None
+        ends: _Ends = []
+        first = True
+        for stmt in stmts:
+            node, stmt_ends = self._statement(stmt, frames, loops)
+            if first:
+                entry = node
+                first = False
+            else:
+                self._connect(ends, node)
+            ends = stmt_ends
+            if not ends:
+                # The block can only continue exceptionally (raise /
+                # return / break / continue ended every path).
+                break
+        return entry, ends
+
+    def _statement(
+        self, stmt: ast.stmt, frames: List[_Frame], loops: List[_Loop]
+    ) -> Tuple[CFGNode, _Ends]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frames, loops)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, frames, loops)
+        if isinstance(stmt, ast.For):
+            return self._for(stmt, frames, loops)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frames, loops)
+        if isinstance(stmt, ast.With):
+            return self._with(stmt, frames, loops)
+        node = self._stmt_node(stmt)
+        if isinstance(stmt, ast.Return):
+            self._apply_raises(node, stmt, frames)
+            ends = self._route_through_finallys(node, frames)
+            for end_node, _ in ends:
+                end_node.edge(self.cfg.exit, "return")
+            return node, []
+        if isinstance(stmt, ast.Raise):
+            for exc in self._raise_excs(stmt):
+                self._route_exception([(node, "")], exc, frames)
+            return node, []
+        if isinstance(stmt, ast.Break):
+            if loops:
+                loop = loops[-1]
+                ends = self._route_through_finallys(node, frames, loop.frames_len)
+                loop.break_ends.extend(ends)
+            return node, []
+        if isinstance(stmt, ast.Continue):
+            if loops:
+                loop = loops[-1]
+                ends = self._route_through_finallys(node, frames, loop.frames_len)
+                self._connect(ends, loop.head)
+            return node, []
+        # Simple statement (Expr / Assign / AugAssign / Assert / ...).
+        self._apply_raises(node, stmt, frames)
+        return node, [(node, "")]
+
+    def _apply_raises(
+        self, node: CFGNode, stmt: ast.stmt, frames: List[_Frame]
+    ) -> None:
+        for exc in self.raises_for(stmt):
+            self._route_exception([(node, "")], exc, frames)
+
+    def _raise_excs(self, stmt: ast.Raise) -> List[str]:
+        exc = stmt.exc
+        if exc is None:
+            # Bare re-raise: whatever the enclosing handler declared.
+            return list(self._reraise or ("Exception",))
+        if isinstance(exc, ast.Call):
+            name = dotted_name(exc.func)
+        else:
+            name = dotted_name(exc)
+        if name is None:
+            return ["Exception"]
+        return [name.rsplit(".", 1)[-1]]
+
+    # -- compound statements --------------------------------------------------
+
+    def _if(
+        self, stmt: ast.If, frames: List[_Frame], loops: List[_Loop]
+    ) -> Tuple[CFGNode, _Ends]:
+        head = self._stmt_node(stmt)
+        self._apply_raises(head, stmt, frames)
+        body_entry, body_ends = self._block(stmt.body, frames, loops)
+        if body_entry is not None:
+            head.edge(body_entry, "true")
+        ends = list(body_ends)
+        if stmt.orelse:
+            else_entry, else_ends = self._block(stmt.orelse, frames, loops)
+            if else_entry is not None:
+                head.edge(else_entry, "false")
+            ends.extend(else_ends)
+        else:
+            ends.append((head, "false"))
+        return head, ends
+
+    def _loop_test_is_true(self, stmt: ast.While) -> bool:
+        return isinstance(stmt.test, ast.Constant) and stmt.test.value is True
+
+    def _while(
+        self, stmt: ast.While, frames: List[_Frame], loops: List[_Loop]
+    ) -> Tuple[CFGNode, _Ends]:
+        head = self._stmt_node(stmt)
+        self._apply_raises(head, stmt, frames)
+        loop = _Loop(head, len(frames))
+        body_entry, body_ends = self._block(stmt.body, frames, loops + [loop])
+        if body_entry is not None:
+            head.edge(body_entry, "true")
+        self._connect(body_ends, head)
+        ends: _Ends = list(loop.break_ends)
+        if not self._loop_test_is_true(stmt):
+            ends.append((head, "false"))
+        return head, ends
+
+    def _for(
+        self, stmt: ast.For, frames: List[_Frame], loops: List[_Loop]
+    ) -> Tuple[CFGNode, _Ends]:
+        head = self._stmt_node(stmt)
+        self._apply_raises(head, stmt, frames)
+        loop = _Loop(head, len(frames))
+        body_entry, body_ends = self._block(stmt.body, frames, loops + [loop])
+        if body_entry is not None:
+            head.edge(body_entry, "true")
+        self._connect(body_ends, head)
+        # "false" = iterator exhausted; for drain loops this edge is
+        # the proof that every element was consumed.
+        return head, list(loop.break_ends) + [(head, "false")]
+
+    def _with(
+        self, stmt: ast.With, frames: List[_Frame], loops: List[_Loop]
+    ) -> Tuple[CFGNode, _Ends]:
+        head = self._stmt_node(stmt)
+        self._apply_raises(head, stmt, frames)
+        body_entry, body_ends = self._block(stmt.body, frames, loops)
+        if body_entry is not None:
+            head.edge(body_entry, "")
+            return head, body_ends
+        return head, [(head, "")]
+
+    def _handler_names(
+        self, handler: ast.ExceptHandler
+    ) -> Optional[Tuple[str, ...]]:
+        if handler.type is None:
+            return None
+        if isinstance(handler.type, ast.Tuple):
+            names = []
+            for element in handler.type.elts:
+                name = dotted_name(element)
+                names.append(name.rsplit(".", 1)[-1] if name else "Exception")
+            return tuple(names)
+        name = dotted_name(handler.type)
+        return (name.rsplit(".", 1)[-1] if name else "Exception",)
+
+    def _try(
+        self, stmt: ast.Try, frames: List[_Frame], loops: List[_Loop]
+    ) -> Tuple[CFGNode, _Ends]:
+        finalbody = stmt.finalbody or None
+        cleanup_frame = _Frame((), finalbody, "cleanup")
+
+        # Build each handler block first so body statements can route
+        # exception edges straight to the handler entries. A handler's
+        # own exceptions skip sibling handlers but run the finally.
+        handler_specs: List[Tuple[Optional[Tuple[str, ...]], CFGNode]] = []
+        handler_ends: _Ends = []
+        for handler in stmt.handlers:
+            names = self._handler_names(handler)
+            saved = self._reraise
+            self._reraise = names if names is not None else ("Exception",)
+            entry, ends = self._block(
+                handler.body, frames + [cleanup_frame], loops
+            )
+            self._reraise = saved
+            if entry is None:  # empty handler body (bare "except: pass"?)
+                entry = self.cfg._make("stmt", handler, "pass")
+                ends = [(entry, "")]
+            handler_specs.append((names, entry))
+            handler_ends.extend(ends)
+
+        body_frame = _Frame(handler_specs, finalbody, "body")
+        body_entry, body_ends = self._block(
+            stmt.body, frames + [body_frame], loops
+        )
+        if body_entry is None:  # "try: pass" — synthesize a node
+            body_entry = self.cfg._make("stmt", stmt, "pass")
+            body_ends = [(body_entry, "")]
+
+        if stmt.orelse:
+            else_entry, else_ends = self._block(
+                stmt.orelse, frames + [cleanup_frame], loops
+            )
+            if else_entry is not None:
+                self._connect(body_ends, else_entry)
+                body_ends = else_ends
+
+        normal_ends = body_ends + handler_ends
+        if finalbody:
+            fin_entry, fin_ends = self._block(finalbody, frames, loops)
+            if fin_entry is not None:
+                self._connect(normal_ends, fin_entry)
+                normal_ends = fin_ends
+        return body_entry, normal_ends
+
+
+def default_raises_for(stmt: ast.stmt) -> Iterable[str]:
+    """Baseline model: every yield can fail or be killed; calls can't."""
+    if stmt_yield_values(stmt):
+        return YIELD_RAISES
+    return ()
+
+
+def build_cfg(
+    func: ast.FunctionDef,
+    raises_for: Optional[Callable[[ast.stmt], Iterable[str]]] = None,
+) -> CFG:
+    """Build the CFG of one function definition."""
+    cfg = CFG(func)
+    builder = _Builder(cfg, raises_for if raises_for is not None else default_raises_for)
+    body = list(func.body)
+    # Skip a leading docstring: it is not control flow.
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    entry, ends = builder._block(body, [], [])
+    if entry is not None:
+        cfg.entry.edge(entry, "")
+    else:
+        cfg.entry.edge(cfg.exit, "return")
+    for node, label in ends:
+        node.edge(cfg.exit, label or "return")
+    return cfg

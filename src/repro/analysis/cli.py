@@ -3,11 +3,16 @@
 Subcommands::
 
     python -m repro.analysis lint [paths...] [--format json] [--select SIM00x,...]
+    python -m repro.analysis protolint [paths...] [--format json]
+        [--baseline FILE] [--write-baseline]
+    python -m repro.analysis races [traces...] [--format json]
     python -m repro.analysis mutants [--only name ...]
 
-``lint`` exits nonzero if any finding survives; ``mutants`` exits
-nonzero unless every seeded protocol mutation is detected and every
-control run is clean. Both are wired into CI (see docs/ANALYSIS.md).
+``lint``/``protolint`` exit nonzero if any finding survives (protolint
+after subtracting the committed baseline); ``races`` exits nonzero if
+any flight-recorder trace shows a lock-discipline race; ``mutants``
+exits nonzero unless every seeded protocol mutation is detected and
+every control run is clean. All are wired into CI (see docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -47,12 +52,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to enable (default: all)",
     )
 
+    protolint = sub.add_parser(
+        "protolint", help="run the protocol-discipline CFG analyzer"
+    )
+    protolint.add_argument(
+        "paths", nargs="*", default=None,
+        help="engine files to analyze (default: protocol/ + recovery/)",
+    )
+    protolint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format_",
+        help="report format (json is machine-readable)",
+    )
+    protolint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of accepted findings "
+        "(default: PROTOLINT_BASELINE.json at the repo root)",
+    )
+    protolint.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file with the current findings",
+    )
+
+    races = sub.add_parser(
+        "races", help="lockset race detector over flight-recorder traces"
+    )
+    races.add_argument(
+        "traces", nargs="+",
+        help="flight-recorder JSONL files to analyze",
+    )
+    races.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format_",
+        help="report format (json is machine-readable)",
+    )
+
     mutants = sub.add_parser(
         "mutants", help="run the sanitizer mutation-testing harness"
     )
     mutants.add_argument(
         "--only", nargs="*", default=None, metavar="NAME",
-        help="run only the named mutants",
+        help="run only the named mutants (dynamic and static)",
+    )
+    mutants.add_argument(
+        "--skip-static", action="store_true",
+        help="skip the protolint overlay mutants (dynamic rigs only)",
     )
     return parser
 
@@ -72,20 +114,72 @@ def _cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def _cmd_protolint(args) -> int:
+    from repro.analysis import protolint as pl
+
+    findings = pl.run_protolint(paths=args.paths or None)
+    root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    )
+    baseline_path = args.baseline or os.path.join(
+        root, "PROTOLINT_BASELINE.json"
+    )
+    if args.write_baseline:
+        pl.write_baseline(findings, baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+    findings = pl.filter_baseline(findings, pl.load_baseline(baseline_path))
+    if args.format_ == "json":
+        print(pl.render_json(findings))
+    else:
+        print(pl.render_text(findings))
+    return 1 if findings else 0
+
+
+def _cmd_races(args) -> int:
+    from repro.analysis.races import (
+        analyze_traces,
+        render_json,
+        render_text,
+    )
+
+    report = analyze_traces(args.traces)
+    if args.format_ == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 1 if report.races else 0
+
+
 def _cmd_mutants(args) -> int:
-    from repro.analysis.mutants import render_results, run_mutation_harness
+    from repro.analysis.mutants import (
+        render_results,
+        run_mutation_harness,
+        run_static_mutants,
+    )
 
     results = run_mutation_harness(only=args.only)
-    print(render_results(results))
-    if not results:
+    static_results = (
+        None if args.skip_static else run_static_mutants(only=args.only)
+    )
+    print(render_results(results, static_results))
+    if not results and not static_results:
         print("no mutants matched", file=sys.stderr)
         return 1
-    return 0 if all(result.passed for result in results) else 1
+    ok = all(result.passed for result in results)
+    if static_results is not None:
+        ok = ok and all(result.passed for result in static_results)
+    return 0 if ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"lint": _cmd_lint, "mutants": _cmd_mutants}
+    handlers = {
+        "lint": _cmd_lint,
+        "protolint": _cmd_protolint,
+        "races": _cmd_races,
+        "mutants": _cmd_mutants,
+    }
     return handlers[args.command](args)
 
 

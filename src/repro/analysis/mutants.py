@@ -1,13 +1,26 @@
-"""Mutation-testing harness for the PILL sanitizer.
+"""Mutation-testing harness for the protocol-discipline checkers.
 
-Each mutant is a deliberately broken Pandora engine (or a re-enabled
-FORD bug flag) run through a small hand-wired rig with the sanitizer in
-collect mode. The harness asserts two things per mutant:
+Two kinds of mutants prove the checkers actually check:
 
-* the sanitizer reports the expected violation code, and
+**Dynamic mutants** — deliberately broken Pandora engines (or
+re-enabled FORD bug flags) run through a small hand-wired rig with the
+PILL sanitizer in collect mode and a flight recorder attached. The
+harness asserts, per mutant:
+
+* the sanitizer reports the expected violation code,
+* where a race signature is expected, the lockset detector
+  (:mod:`repro.analysis.races`) finds it in the recorded flight, and
 * the *same scenario* under the unmutated engine reports nothing —
   so a detection is evidence of the mutation, not of a trigger-happy
   checker.
+
+**Static mutants** — source-level edits of the shipped engine files
+(drop a drain loop, delete a crash point, strip a ``finally``) linted
+through :func:`repro.analysis.protolint.run_protolint` via its overlay
+API, without touching disk. Each must trip its targeted PROTO rule
+while the unmutated tree stays clean. The first one re-introduces the
+PR 4 abort-path lock leak and must be flagged **statically** — no
+simulation run required.
 
 Run with ``python -m repro.analysis mutants``; the CLI exits nonzero
 unless every mutant is caught and every control run is clean.
@@ -15,10 +28,13 @@ unless every mutant is caught and every control run is clean.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.analysis.protolint import _repo_root, run_protolint
+from repro.analysis.races import analyze_attempts
 from repro.analysis.sanitizer import (
     LOG_WITHOUT_LOCK,
     STEAL_LIVE_OWNER,
@@ -35,6 +51,7 @@ from repro.protocol.coordinator import Coordinator, CoordinatorConfig
 from repro.protocol.locks import is_locked
 from repro.protocol.pandora import PandoraProtocol, pandora_factory
 from repro.protocol.types import BugFlags
+from repro.obs import Obs
 from repro.rdma.network import Network, NetworkConfig
 from repro.rdma.verbs import Verbs
 from repro.sim import Simulator
@@ -43,7 +60,11 @@ __all__ = [
     "MutantResult",
     "MutantRig",
     "MUTANTS",
+    "STATIC_MUTANTS",
+    "StaticMutantResult",
+    "StaticMutantSpec",
     "run_mutation_harness",
+    "run_static_mutants",
     "render_results",
 ]
 
@@ -87,11 +108,22 @@ class MutantRig:
         for node in self.memory.values():
             node.sanitizer = self.sanitizer
 
+        # Flight recorder for the dynamic race detector (tracer off —
+        # only the per-attempt verb/lock records matter here). Obs's
+        # hot-path metric caches live behind set_run_meta.
+        self.obs = Obs(trace=False, flight=True)
+        self.obs.set_run_meta(harness="mutants")
+
         self.nodes = []
         self.coordinators = []
         for node_id in range(compute_nodes):
             verbs = Verbs(
-                self.sim, node_id, self.network, self.memory, sanitizer=self.sanitizer
+                self.sim,
+                node_id,
+                self.network,
+                self.memory,
+                obs=self.obs,
+                sanitizer=self.sanitizer,
             )
             node = ComputeNode(self.sim, node_id, verbs, self.catalog)
             self.nodes.append(node)
@@ -289,6 +321,10 @@ class MutantSpec:
     # Bug-flag mutants reuse the stock engine, so their control factory
     # is the same engine with the flag off.
     control_factory: Callable = field(default_factory=lambda: pandora_factory(None))
+    # When set, the lockset detector must also find this race code in
+    # the mutant run's flight records (and none in the control's) —
+    # the dynamic cross-check of the same discipline.
+    expected_race: Optional[str] = None
 
 
 MUTANTS: List[MutantSpec] = [
@@ -298,6 +334,7 @@ MUTANTS: List[MutantSpec] = [
         engine_factory=_factory_for(StealAnyLockEngine),
         scenario=_scenario_contended_write,
         expected_code=STEAL_LIVE_OWNER,
+        expected_race="RACE-DOUBLE-GRANT",
     ),
     MutantSpec(
         name="write-without-lock",
@@ -305,6 +342,7 @@ MUTANTS: List[MutantSpec] = [
         engine_factory=_factory_for(WriteWithoutLockEngine),
         scenario=_scenario_single_write,
         expected_code=WRITE_WITHOUT_LOCK,
+        expected_race="RACE-UNLOCKED-WRITE",
     ),
     MutantSpec(
         name="log-before-lock",
@@ -332,7 +370,7 @@ MUTANTS: List[MutantSpec] = [
 
 @dataclass
 class MutantResult:
-    """Outcome of one mutant + its control run."""
+    """Outcome of one dynamic mutant + its control run."""
 
     name: str
     description: str
@@ -341,23 +379,42 @@ class MutantResult:
     codes: List[str]
     control_clean: bool
     control_codes: List[str]
+    # Lockset-detector cross-check (None when the mutant has no
+    # expected race signature).
+    expected_race: Optional[str] = None
+    race_caught: bool = True
+    race_codes: List[str] = field(default_factory=list)
+    control_race_codes: List[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
-        return self.caught and self.control_clean
+        return (
+            self.caught
+            and self.control_clean
+            and self.race_caught
+            and not self.control_race_codes
+        )
 
 
 def run_mutation_harness(only: Optional[List[str]] = None) -> List[MutantResult]:
-    """Run every mutant and its control; returns one result per mutant."""
+    """Run every dynamic mutant and its control; one result per mutant."""
     results = []
     for spec in MUTANTS:
         if only and spec.name not in only:
             continue
         mutant_rig = spec.scenario(spec.engine_factory)
         codes = [violation.code for violation in mutant_rig.sanitizer.violations]
+        race_codes = [
+            race.code
+            for race in analyze_attempts(mutant_rig.obs.flight.attempts).races
+        ]
         control_rig = spec.scenario(spec.control_factory)
         control_codes = [
             violation.code for violation in control_rig.sanitizer.violations
+        ]
+        control_race_codes = [
+            race.code
+            for race in analyze_attempts(control_rig.obs.flight.attempts).races
         ]
         results.append(
             MutantResult(
@@ -368,23 +425,256 @@ def run_mutation_harness(only: Optional[List[str]] = None) -> List[MutantResult]
                 codes=codes,
                 control_clean=not control_codes,
                 control_codes=control_codes,
+                expected_race=spec.expected_race,
+                race_caught=(
+                    spec.expected_race is None or spec.expected_race in race_codes
+                ),
+                race_codes=race_codes,
+                control_race_codes=control_race_codes,
             )
         )
     return results
 
 
-def render_results(results: List[MutantResult]) -> str:
+# -- static mutants ------------------------------------------------------------
+#
+# Source-level edits of the shipped engine files, linted through
+# protolint's overlay API. `old` must match the shipped source exactly
+# (a mismatch fails the mutant loudly — the mutation rotted), and
+# `expected_rule` must appear among the findings. The shipped tree
+# itself is the shared control and must lint clean.
+
+
+@dataclass
+class StaticMutantSpec:
+    """One source-level mutation and the PROTO rule that must fire."""
+
+    name: str
+    description: str
+    path: str  # repo-root-relative
+    old: str  # verbatim shipped source to replace ...
+    new: str  # ... with this mutated text
+    expected_rule: str
+
+
+STATIC_MUTANTS: List[StaticMutantSpec] = [
+    StaticMutantSpec(
+        name="abort-allof-drain",
+        description=(
+            "PR 4 regression: abort drains log acks with one all_of, so a "
+            "dead log server's RdmaError skips the unlocks (lock leak)"
+        ),
+        path="src/repro/protocol/base.py",
+        old=(
+            "        for ack in tx.log_acks:\n"
+            "            # A log copy posted to a server that died in flight fails\n"
+            "            # with RdmaError; the abort must survive that — this runs\n"
+            "            # inside the TxnAbort handler, so an escaping RdmaError\n"
+            "            # would skip the unlocks below and leak every held lock\n"
+            "            # under a *live* coordinator id (unstealable by PILL).\n"
+            "            try:\n"
+            "                yield ack\n"
+            "            except RdmaError:\n"
+            "                continue\n"
+        ),
+        new=(
+            "        if tx.log_acks:\n"
+            "            yield self.sim.all_of(tx.log_acks)\n"
+        ),
+        expected_rule="PROTO001",
+    ),
+    StaticMutantSpec(
+        name="skip-recover-drain",
+        description=(
+            "recover_interrupted releases locks without draining in-flight "
+            "log acks first"
+        ),
+        path="src/repro/protocol/base.py",
+        old=(
+            "        # Drain in-flight log acks (they all resolve: a copy to a dead\n"
+            "        # node fails at arrival) so the release below can invalidate\n"
+            "        # every copy we learn about — otherwise a valid undo record\n"
+            "        # outlives the unlock and recovery could mistake the aborted\n"
+            "        # txn for an in-flight one (§3.1.5 discipline, §3.2.5 path).\n"
+            "        for ack in tx.log_acks:\n"
+            "            if ack.triggered:\n"
+            "                continue\n"
+            "            try:\n"
+            "                yield ack\n"
+            "            except RdmaError:\n"
+            "                pass\n"
+        ),
+        new="",
+        expected_rule="PROTO002",
+    ),
+    StaticMutantSpec(
+        name="drop-crash-point",
+        description=(
+            "the abort_unlocked crash point is deleted while the litmus "
+            "runner and chaos schedules still target it"
+        ),
+        path="src/repro/protocol/base.py",
+        old=(
+            '        checkpoint = self._cp("abort_unlocked")\n'
+            "        if checkpoint is not None:\n"
+            "            yield checkpoint\n"
+        ),
+        new="",
+        expected_rule="PROTO004",
+    ),
+    StaticMutantSpec(
+        name="unguarded-acquire",
+        description=(
+            "_acquire loses its RdmaError guard, so a yield between the "
+            "lock CAS and the log post can escape"
+        ),
+        path="src/repro/protocol/base.py",
+        old=(
+            "        try:\n"
+            "            yield from self._acquire_inner(tx, intent)\n"
+            "        except RdmaError as error:\n"
+            "            intent.lock_result = (False, AbortReason.LINK_REVOKED)\n"
+            "            intent.lock_error = error  # type: ignore[attr-defined]\n"
+        ),
+        new="        yield from self._acquire_inner(tx, intent)\n",
+        expected_rule="PROTO005",
+    ),
+    StaticMutantSpec(
+        name="claim-leak-no-finally",
+        description=(
+            "_recover_compute drops its finally, leaking the in-progress "
+            "claim when the recovery process is killed mid-flight"
+        ),
+        path="src/repro/recovery/manager.py",
+        old=(
+            "        try:\n"
+            "            yield from self._recover_compute_inner(node)\n"
+            "        finally:\n"
+            "            # Runs on normal completion AND when this recovery process\n"
+            "            # is itself killed mid-flight (GeneratorExit): the claim\n"
+            "            # must be released either way, or the node becomes\n"
+            "            # unrecoverable forever — no re-detection can start (the\n"
+            '            # key is still "in progress") and restart_compute defers\n'
+            "            # in a loop waiting for it to clear. Re-running recovery\n"
+            "            # from scratch is safe because every step is idempotent\n"
+            "            # (§3.2.3).\n"
+            "            self._in_progress.discard(key)\n"
+            "            self._processes.pop(key, None)\n"
+        ),
+        new=(
+            "        yield from self._recover_compute_inner(node)\n"
+            "        self._in_progress.discard(key)\n"
+            "        self._processes.pop(key, None)\n"
+        ),
+        expected_rule="PROTO006",
+    ),
+]
+
+
+@dataclass
+class StaticMutantResult:
+    """Outcome of one static (protolint overlay) mutant."""
+
+    name: str
+    description: str
+    expected_rule: str
+    applied: bool  # the `old` text still matches the shipped source
+    caught: bool
+    rules: List[str]
+    control_clean: bool
+    control_rules: List[str]
+
+    @property
+    def passed(self) -> bool:
+        return self.applied and self.caught and self.control_clean
+
+
+def run_static_mutants(
+    only: Optional[List[str]] = None,
+) -> List[StaticMutantResult]:
+    """Lint every static mutant via protolint's overlay API."""
+    root = _repo_root()
+    # One shared control: the shipped tree must lint clean, or a
+    # "caught" verdict on a mutant proves nothing.
+    control_rules = [finding.rule for finding in run_protolint(root=root)]
+    control_clean = not control_rules
+    results = []
+    for spec in STATIC_MUTANTS:
+        if only and spec.name not in only:
+            continue
+        abspath = os.path.join(root, spec.path)
+        try:
+            with open(abspath, "r") as handle:
+                shipped = handle.read()
+        except OSError:
+            shipped = ""
+        applied = spec.old in shipped
+        rules: List[str] = []
+        caught = False
+        if applied:
+            overlay = {abspath: shipped.replace(spec.old, spec.new)}
+            rules = [
+                finding.rule
+                for finding in run_protolint(root=root, overlay=overlay)
+            ]
+            caught = spec.expected_rule in rules
+        results.append(
+            StaticMutantResult(
+                name=spec.name,
+                description=spec.description,
+                expected_rule=spec.expected_rule,
+                applied=applied,
+                caught=caught,
+                rules=rules,
+                control_clean=control_clean,
+                control_rules=control_rules,
+            )
+        )
+    return results
+
+
+def render_results(
+    results: List[MutantResult],
+    static_results: Optional[List[StaticMutantResult]] = None,
+) -> str:
     lines = []
     for result in results:
         verdict = "caught" if result.caught else "MISSED"
         control = "clean" if result.control_clean else "NOISY"
-        lines.append(
+        line = (
             f"{result.name:28s} want={result.expected_code:14s} "
             f"{verdict:7s} got={','.join(sorted(set(result.codes))) or '-'} "
             f"control={control}"
         )
+        if result.expected_race is not None:
+            race = "race-hit" if result.race_caught else "RACE-MISSED"
+            line += f" {race}"
+        lines.append(line)
         if not result.control_clean:
             lines.append(f"{'':28s} control codes: {sorted(set(result.control_codes))}")
+        if result.control_race_codes:
+            lines.append(
+                f"{'':28s} control races: {sorted(set(result.control_race_codes))}"
+            )
     passed = sum(1 for result in results if result.passed)
     lines.append(f"{passed}/{len(results)} mutants detected with clean controls")
+    if static_results is not None:
+        for result in static_results:
+            if not result.applied:
+                lines.append(
+                    f"{result.name:28s} want={result.expected_rule:14s} "
+                    f"STALE (mutation no longer matches the shipped source)"
+                )
+                continue
+            verdict = "caught" if result.caught else "MISSED"
+            control = "clean" if result.control_clean else "NOISY"
+            lines.append(
+                f"{result.name:28s} want={result.expected_rule:14s} "
+                f"{verdict:7s} got={','.join(sorted(set(result.rules))) or '-'} "
+                f"control={control}"
+            )
+        passed = sum(1 for result in static_results if result.passed)
+        lines.append(
+            f"{passed}/{len(static_results)} static mutants flagged by protolint"
+        )
     return "\n".join(lines)

@@ -1,0 +1,360 @@
+"""Lockset race detector over flight-recorder traces.
+
+The dynamic half of the protocol-discipline contract that
+:mod:`repro.analysis.protolint` proves statically: protolint argues
+"every path of the engine releases what it acquires"; this module
+checks real executions for the symptom those arguments rule out —
+**conflicting, unsynchronized accesses to the same memory region by
+different coordinators**.
+
+Input is the flight-recorder JSONL that ``repro report`` /
+``repro bench`` already emit (PR 3): one JSON object per engine
+attempt, carrying the attempt's lock events (``acquired`` /
+``released`` / ``steal`` / ``conflict``) and its posted verbs. Since
+PR 7, region-addressed verbs (``cas_lock``, ``write_lock``,
+``write_object``) carry an address detail, which is what lets a
+``write_object`` be attributed to a ``(table, slot)`` region here.
+
+The simulator is single-threaded over one virtual clock, so
+happens-before between any two recorded events *is* timestamp order —
+the detector builds per-region **ownership intervals**
+``[acquired, released)`` per attempt and checks:
+
+``RACE-DOUBLE-GRANT``
+    two attempts from different coordinators hold overlapping
+    ownership intervals on one region. A PILL steal from a *crashed*
+    owner (§3.1.2) is the sanctioned exception and is exempted.
+
+``RACE-CONFLICT``
+    an in-place ``write_object`` posted by one coordinator while a
+    *different* coordinator owns the region's lock.
+
+``RACE-UNLOCKED-WRITE``
+    an in-place ``write_object`` posted while *nobody* owns the
+    region — the dynamic twin of the sanitizer's ``PILL-WRITE``.
+
+The detector can also consume a live :class:`PillSanitizer`'s
+``lock_events`` transition log (see :func:`analyze_lock_events`),
+which sees *memory-side* lock-word transitions — including recovery
+traffic that posts with no focused flight attempt. The mutation
+harness cross-checks both views against the same seeded bugs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.flight import FlightAttempt
+
+__all__ = [
+    "Race",
+    "RaceReport",
+    "analyze_attempts",
+    "analyze_traces",
+    "analyze_lock_events",
+    "load_flight_jsonl",
+    "render_text",
+    "render_json",
+]
+
+
+@dataclass(frozen=True)
+class Race:
+    """One detected race on one memory region."""
+
+    code: str  # RACE-DOUBLE-GRANT / RACE-CONFLICT / RACE-UNLOCKED-WRITE
+    table: int
+    slot: int
+    time: float
+    actors: Tuple[str, ...]
+    message: str
+    trace: str = "<memory>"
+
+    def render(self) -> str:
+        return (
+            f"{self.code} table {self.table} slot {self.slot} at "
+            f"{self.time * 1e6:.3f}us [{self.trace}]: {self.message}"
+        )
+
+
+@dataclass
+class RaceReport:
+    """Aggregated result over one or more traces."""
+
+    races: List[Race] = field(default_factory=list)
+    attempts: int = 0
+    regions: int = 0
+    writes_checked: int = 0
+    traces: List[str] = field(default_factory=list)
+
+    def merge(self, other: "RaceReport") -> None:
+        self.races.extend(other.races)
+        self.attempts += other.attempts
+        self.regions += other.regions
+        self.writes_checked += other.writes_checked
+        self.traces.extend(other.traces)
+
+
+class _Interval:
+    """One ownership interval of one attempt on one region."""
+
+    __slots__ = ("start", "end", "owner", "finished")
+
+    def __init__(self, start: float, owner: str, finished: bool) -> None:
+        self.start = start
+        self.end = float("inf")
+        self.owner = owner  # "c<coord> txn <id> attempt <n>"
+        # Whether the owning attempt reached a recorded outcome. A
+        # grant overlapping an UNfinished (crashed) owner is sanctioned
+        # — PILL steals the stray lock, or recovery releases it at the
+        # memory server, and neither shows up as a release in the dead
+        # owner's flight record. A grant overlapping a FINISHED owner's
+        # still-open interval is the symptom of a lock leak.
+        self.finished = finished
+
+    def covers(self, ts: float) -> bool:
+        return self.start <= ts < self.end
+
+
+def _owner_id(attempt: FlightAttempt) -> str:
+    return f"c{attempt.coord_id} txn {attempt.txn_id:#x} attempt {attempt.attempt}"
+
+
+def _intervals_for(
+    attempt: FlightAttempt,
+) -> Dict[Tuple[int, int], List[_Interval]]:
+    """Pair acquired/released lock events into per-region intervals."""
+    out: Dict[Tuple[int, int], List[_Interval]] = {}
+    open_iv: Dict[Tuple[int, int], _Interval] = {}
+    owner = _owner_id(attempt)
+    finished = attempt.outcome is not None
+    for event in attempt.locks:
+        name, table, slot, ts = event[0], event[1], event[2], event[3]
+        region = (table, slot)
+        if name == "acquired":
+            interval = _Interval(ts, owner, finished)
+            open_iv[region] = interval
+            out.setdefault(region, []).append(interval)
+        elif name == "released":
+            interval = open_iv.pop(region, None)
+            if interval is not None:
+                interval.end = ts
+    # An attempt that never recorded a release for an open interval
+    # either crashed (finished=False: PILL may steal it) or leaked the
+    # lock; the interval stays open-ended (end = +inf).
+    return out
+
+
+def analyze_attempts(
+    attempts: Iterable[FlightAttempt], trace: str = "<memory>"
+) -> RaceReport:
+    """Run the lockset checks over in-memory flight attempts."""
+    report = RaceReport(traces=[trace])
+    regions: Dict[Tuple[int, int], List[_Interval]] = {}
+    writes: List[Tuple[float, Tuple[int, int], str]] = []
+    attempts = list(attempts)
+    report.attempts = len(attempts)
+    for attempt in attempts:
+        for region, intervals in _intervals_for(attempt).items():
+            regions.setdefault(region, []).extend(intervals)
+        owner = _owner_id(attempt)
+        for entry in attempt.verbs:
+            if entry[0] != "write_object" or len(entry) < 7:
+                continue
+            detail = entry[6]
+            writes.append((entry[3], (detail[0], detail[1]), owner))
+    report.regions = len(regions)
+    report.writes_checked = len(writes)
+
+    # RACE-DOUBLE-GRANT: overlapping intervals, different coordinators.
+    for (table, slot), intervals in sorted(regions.items()):
+        intervals.sort(key=lambda iv: iv.start)
+        for i, left in enumerate(intervals):
+            for right in intervals[i + 1 :]:
+                if right.start >= left.end:
+                    break
+                if left.owner.split()[0] == right.owner.split()[0]:
+                    continue  # same coordinator: sequential attempts
+                if not left.finished:
+                    # The earlier owner crashed mid-attempt (no
+                    # outcome, no release): later grants reach the
+                    # region via PILL's steal or recovery's stray-lock
+                    # release, both invisible to the dead owner's
+                    # flight record. Sanctioned.
+                    continue
+                report.races.append(
+                    Race(
+                        "RACE-DOUBLE-GRANT",
+                        table,
+                        slot,
+                        right.start,
+                        (left.owner, right.owner),
+                        f"{right.owner} acquired the lock while "
+                        f"{left.owner} still held it "
+                        f"(held since {left.start * 1e6:.3f}us)",
+                        trace,
+                    )
+                )
+
+    # RACE-CONFLICT / RACE-UNLOCKED-WRITE: attribute each in-place
+    # write to the region's owner at post time.
+    for ts, region, writer in sorted(writes):
+        holding = [
+            iv for iv in regions.get(region, ()) if iv.covers(ts)
+        ]
+        if any(iv.owner == writer for iv in holding):
+            continue
+        table, slot = region
+        others = [iv.owner for iv in holding if iv.owner != writer]
+        if others:
+            report.races.append(
+                Race(
+                    "RACE-CONFLICT",
+                    table,
+                    slot,
+                    ts,
+                    (writer, others[0]),
+                    f"{writer} wrote the object in place while "
+                    f"{others[0]} owned its lock",
+                    trace,
+                )
+            )
+        else:
+            report.races.append(
+                Race(
+                    "RACE-UNLOCKED-WRITE",
+                    table,
+                    slot,
+                    ts,
+                    (writer,),
+                    f"{writer} wrote the object in place while nobody "
+                    "owned its lock",
+                    trace,
+                )
+            )
+    return report
+
+
+def analyze_lock_events(
+    lock_events: Iterable[Tuple[float, int, int, str, int, int]],
+    failed_ids: Any = frozenset(),
+    trace: str = "<sanitizer>",
+) -> RaceReport:
+    """Lockset check over a PillSanitizer's memory-side transition log.
+
+    This view sees every lock-word transition the memory nodes
+    executed — including recovery and registration traffic the flight
+    recorder files as unattributed. ``failed_ids`` marks coordinators
+    whose steals are sanctioned.
+    """
+    report = RaceReport(traces=[trace])
+    held: Dict[Tuple[int, int], Tuple[int, float]] = {}
+    regions = set()
+    for ts, table, slot, event, compute, _word in lock_events:
+        region = (table, slot)
+        regions.add(region)
+        if event in ("grant", "overwrite"):
+            held[region] = (compute, ts)
+        elif event == "steal":
+            prior = held.get(region)
+            if prior is not None and prior[0] not in failed_ids:
+                report.races.append(
+                    Race(
+                        "RACE-DOUBLE-GRANT",
+                        table,
+                        slot,
+                        ts,
+                        (f"c{prior[0]}", f"c{compute}"),
+                        f"compute {compute} stole the lock from live "
+                        f"compute {prior[0]} (held since "
+                        f"{prior[1] * 1e6:.3f}us)",
+                        trace,
+                    )
+                )
+            held[region] = (compute, ts)
+        elif event == "release":
+            held.pop(region, None)
+    report.regions = len(regions)
+    return report
+
+
+def load_flight_jsonl(path: str) -> List[FlightAttempt]:
+    """Flight attempts from a (possibly mixed) obs JSONL export."""
+    attempts = []
+    with open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict) and payload.get("ph") == "flight":
+                attempts.append(FlightAttempt.from_json(payload))
+    return attempts
+
+
+def analyze_traces(paths: Iterable[str]) -> RaceReport:
+    """Run :func:`analyze_attempts` over each JSONL file and merge."""
+    report = RaceReport()
+    for path in paths:
+        report.merge(analyze_attempts(load_flight_jsonl(path), trace=path))
+    return report
+
+
+def render_text(report: RaceReport) -> str:
+    lines = [race.render() for race in report.races]
+    lines.append(
+        f"races: {len(report.races)} race(s) over {report.attempts} "
+        f"attempt(s), {report.regions} region(s), "
+        f"{report.writes_checked} in-place write(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: RaceReport) -> str:
+    return json.dumps(
+        {
+            "tool": "races",
+            "races": [
+                {
+                    "code": race.code,
+                    "table": race.table,
+                    "slot": race.slot,
+                    "time": race.time,
+                    "actors": list(race.actors),
+                    "message": race.message,
+                    "trace": race.trace,
+                }
+                for race in report.races
+            ],
+            "attempts": report.attempts,
+            "regions": report.regions,
+            "writes_checked": report.writes_checked,
+            "traces": report.traces,
+            "count": len(report.races),
+        },
+        indent=2,
+    )
+
+
+def _main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro-races")
+    parser.add_argument("traces", nargs="+")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    args = parser.parse_args(argv)
+    report = analyze_traces(args.traces)
+    rendered = render_json(report) if args.format == "json" else render_text(report)
+    print(rendered)  # simlint: disable=SIM007 -- direct CLI entry point
+    return 1 if report.races else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(_main())

@@ -158,6 +158,11 @@ class PillSanitizer:
         self._timeline: deque = deque(maxlen=timeline_depth)
         # Shadow lockset: (table, slot) -> (holder compute id, lock word).
         self._locks: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        # Lock-transition event log consumed by the race detector
+        # (repro.analysis.races): (ts, table, slot, event, compute,
+        # word) with event in {"grant", "steal", "release",
+        # "overwrite"}. Append-only, never read by the sanitizer.
+        self.lock_events: List[Tuple[float, int, int, str, int, int]] = []
         # Posted-record tracking for the compute-side ordering check.
         self._records_by_obj: Dict[int, _TrackedRecord] = {}
         self._records_by_id: Dict[Tuple[int, int, int], _TrackedRecord] = {}
@@ -376,14 +381,24 @@ class PillSanitizer:
             if result == expected:  # the CAS succeeded
                 if desired == 0:
                     self._locks.pop((table_id, slot), None)
+                    event = "release"
                 else:
                     self._locks[(table_id, slot)] = (src, desired)
+                    event = "grant" if expected == 0 else "steal"
+                self.lock_events.append(
+                    (self._now(), table_id, slot, event, src, desired)
+                )
         elif kind == "write_lock":
             table_id, slot, word = args
             if word == 0:
                 self._locks.pop((table_id, slot), None)
+                event = "release"
             else:
                 self._locks[(table_id, slot)] = (src, word)
+                event = "overwrite"
+            self.lock_events.append(
+                (self._now(), table_id, slot, event, src, word)
+            )
         elif kind == "write_log":
             record = args[0]
             tracked = self._records_by_obj.get(id(record))

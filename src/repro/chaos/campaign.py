@@ -27,7 +27,12 @@ from repro.cluster.builder import Cluster
 from repro.cluster.config import ClusterConfig
 from repro.litmus.fuzzer import _FuzzWorkload
 
-__all__ = ["ChaosResult", "ChaosRunner", "run_schedule"]
+__all__ = [
+    "ChaosResult",
+    "ChaosRunner",
+    "DEFAULT_FD_REDETECT_INTERVAL",
+    "run_schedule",
+]
 
 # Wall-clock guards, in virtual seconds past the schedule's duration.
 _QUIESCE_DEADLINE = 60e-3
@@ -36,6 +41,12 @@ _QUIESCE_DEADLINE = 60e-3
 _SETTLE_MARGIN = 2e-3
 
 _FINGERPRINT_MASK = (1 << 61) - 1
+
+# Default re-declaration quiet period for dead nodes whose recovery
+# died mid-flight (tunable per run via ``repro chaos
+# --fd-redetect-interval``; schedules with fd_redetect=False disable
+# re-detection entirely regardless of the interval).
+DEFAULT_FD_REDETECT_INTERVAL = 2e-3
 
 
 def _stable_int(value) -> int:
@@ -54,6 +65,7 @@ class ChaosResult:
     committed: int = 0
     crashes: int = 0
     recovery_kills: int = 0
+    redetections: int = 0
     violations: List[OracleViolation] = field(default_factory=list)
     fingerprint: int = 0
     end_time: float = 0.0
@@ -68,6 +80,7 @@ class ChaosResult:
             f"chaos[seed={self.schedule.seed} {self.schedule.family}/"
             f"{self.schedule.protocol}] committed={self.committed} "
             f"crashes={self.crashes} rc_kills={self.recovery_kills} "
+            f"redetects={self.redetections} "
             f"fp={self.fingerprint:016x}  {verdict}"
         )
 
@@ -75,8 +88,15 @@ class ChaosResult:
 class ChaosRunner:
     """Builds a cluster, arms one schedule's faults, runs, judges."""
 
-    def __init__(self, schedule: Schedule, sanitize: bool = False) -> None:
+    def __init__(
+        self,
+        schedule: Schedule,
+        sanitize: bool = False,
+        fd_redetect_interval: float = DEFAULT_FD_REDETECT_INTERVAL,
+    ) -> None:
         self.schedule = schedule
+        if fd_redetect_interval <= 0:
+            fd_redetect_interval = None  # type: ignore[assignment]
         config = ClusterConfig(
             protocol=schedule.protocol,
             memory_nodes=MEMORY_NODES,
@@ -92,7 +112,9 @@ class ChaosRunner:
             # Re-declare a dead node whose recovery was killed mid-flight
             # (schedules isolating a bug in the restarted-recovery path
             # itself set fd_redetect=False to suppress the self-healing).
-            fd_redetect_interval=2e-3 if schedule.fd_redetect else None,
+            fd_redetect_interval=(
+                fd_redetect_interval if schedule.fd_redetect else None
+            ),
             sanitize=sanitize,
         )
         self.cluster = Cluster(config, _FuzzWorkload(schedule.keys))
@@ -318,6 +340,7 @@ class ChaosRunner:
         result.committed = len(self.history)
         result.crashes = len(cluster.injector.crashes)
         result.recovery_kills = self.recovery_kills
+        result.redetections = len(cluster.fd.redetections)
         if quiesce_violation is not None:
             result.violations.append(quiesce_violation)
         result.violations.extend(check_cluster(cluster, self.history))
@@ -325,6 +348,12 @@ class ChaosRunner:
         return result
 
 
-def run_schedule(schedule: Schedule, sanitize: bool = False) -> ChaosResult:
+def run_schedule(
+    schedule: Schedule,
+    sanitize: bool = False,
+    fd_redetect_interval: float = DEFAULT_FD_REDETECT_INTERVAL,
+) -> ChaosResult:
     """Build a fresh cluster and run *schedule* to a judged result."""
-    return ChaosRunner(schedule, sanitize=sanitize).run()
+    return ChaosRunner(
+        schedule, sanitize=sanitize, fd_redetect_interval=fd_redetect_interval
+    ).run()

@@ -43,6 +43,7 @@ __all__ = [
     "abort_attribution",
     "lock_event_counts",
     "recovery_timelines",
+    "redetection_counts",
     "render_terminal",
     "render_html",
     "print_report",
@@ -208,7 +209,11 @@ def verb_accounting_rows(run: RunData) -> List[Tuple[Any, ...]]:
         counts: Dict[Tuple[str, str], int] = {}
         latencies: Dict[Tuple[str, str], List[float]] = {}
         for record in committed:
-            for kind, _node, phase, _ts, latency, _ok in record.verbs:
+            # Region-addressed verbs carry an extra detail element
+            # (see flight._DETAIL_ARGS) — unpack only the fixed prefix.
+            for kind, _node, phase, _ts, latency, _ok in (
+                entry[:6] for entry in record.verbs
+            ):
                 key = (phase, kind)
                 counts[key] = counts.get(key, 0) + 1
                 if latency >= 0:
@@ -362,6 +367,29 @@ def recovery_timelines(run: RunData) -> List[Tuple[int, List[Tuple[str, float, f
     return timelines
 
 
+def redetection_counts(run: RunData) -> List[Tuple[int, str, int]]:
+    """Failure-detector re-declarations per node, from "redetect"
+    instants.
+
+    A re-detection means a dead node's recovery died mid-flight and the
+    detector declared it again after the quiet period (``repro chaos
+    --fd-redetect-interval``). Returns ``[(node_id, kind, count), ...]``.
+    """
+    counts: Dict[Tuple[int, str], int] = {}
+    for event in run.events:
+        if event.get("cat") != "recovery" or event.get("ph") != "i":
+            continue
+        if event.get("name") != "redetect":
+            continue
+        kind = str((event.get("args") or {}).get("kind", "compute"))
+        key = (int(event.get("pid", 0)), kind)
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        (node_id, kind, count)
+        for (node_id, kind), count in sorted(counts.items())
+    ]
+
+
 # -- renderers ---------------------------------------------------------------
 
 
@@ -457,6 +485,15 @@ def render_terminal(runs: Sequence[RunData]) -> str:
                     ["step", "start (ms)", "duration (us)"],
                     step_rows,
                     title=f"recovery timeline: node {node_id}",
+                )
+            )
+        redetects = redetection_counts(run)
+        if redetects:
+            sections.append(
+                render_rows(
+                    ["node", "kind", "re-detections"],
+                    redetects,
+                    title="failure re-detections (recovery died mid-flight)",
                 )
             )
         unattributed = run.meta.get("unattributed")
@@ -599,6 +636,12 @@ def render_html(runs: Sequence[RunData], title: str = "Transaction flight report
                         for name, start, duration in steps
                     ],
                 )
+            )
+        redetects = redetection_counts(run)
+        if redetects:
+            parts.append("<h2>Failure re-detections</h2>")
+            parts.append(
+                _html_table(["node", "kind", "re-detections"], redetects)
             )
     parts.append("</body></html>")
     return "".join(parts)

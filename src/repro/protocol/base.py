@@ -415,8 +415,13 @@ class ProtocolEngine:
             )
         except LinkRevokedError:
             # We were fenced by active-link termination (Cor1); the
-            # coordinator-level handler decides what to do next.
+            # coordinator-level handler decides what to do next. Held
+            # locks are deliberately NOT released here: fencing marks
+            # this coordinator dead, which makes its locks stealable,
+            # and the RecoveryManager's compute-failure path owns
+            # releasing or repairing them (§3.2.2).
             trace.end("fenced", self.sim.now, writes=len(tx.write_set))
+            # protolint: disable=PROTO001 -- fenced: RecoveryManager owns the locks
             raise
         except RdmaError:
             # A replica went down mid-attempt; apply the compute-side
@@ -424,6 +429,20 @@ class ProtocolEngine:
             outcome = yield from self.recover_interrupted(tx)
             trace.end("interrupted", self.sim.now, writes=len(tx.write_set))
             return outcome
+        except Exception:
+            # Application logic raised something the protocol does not
+            # model (a bug in the transaction body). The write-set may
+            # hold eagerly-acquired locks under a *live* coordinator id
+            # — unstealable by PILL — so run the abort path to release
+            # them before the error escapes to the worker loop's
+            # crash-stop conversion. Found by protolint (PROTO001).
+            yield from self._abort(tx, AbortReason.APP_ERROR)
+            trace.end(
+                f"abort:{AbortReason.APP_ERROR}",
+                self.sim.now,
+                writes=len(tx.write_set),
+            )
+            raise
         finally:
             self.current_tx = None
 
@@ -571,6 +590,7 @@ class ProtocolEngine:
         intent.old_version = version
         intent.old_value = value
         intent.old_present = present
+        tx.trace.lock_event("acquired", table_id, slot, self.sim.now)
         checkpoint = self._cp("locked")
         if checkpoint is not None:
             yield checkpoint
@@ -830,6 +850,9 @@ class ProtocolEngine:
             if intent.locked:
                 self.verbs.write_lock(intent.lock_node, intent.table_id, intent.slot, 0)
                 self._release_lock_logs(intent)
+                tx.trace.lock_event(
+                    "released", intent.table_id, intent.slot, self.sim.now
+                )
         checkpoint = self._cp("unlocked")
         if checkpoint is not None:
             yield checkpoint
@@ -892,6 +915,9 @@ class ProtocolEngine:
                     node = self.placement.primary(intent.table_id, intent.slot)
                 self.verbs.write_lock(node, intent.table_id, intent.slot, 0)
                 self._release_lock_logs(intent)
+                tx.trace.lock_event(
+                    "released", intent.table_id, intent.slot, self.sim.now
+                )
         checkpoint = self._cp("abort_unlocked")
         if checkpoint is not None:
             yield checkpoint
@@ -1025,3 +1051,6 @@ class ProtocolEngine:
             if intent.locked:
                 self.verbs.write_lock(intent.lock_node, intent.table_id, intent.slot, 0)
                 self._release_lock_logs(intent)
+                tx.trace.lock_event(
+                    "released", intent.table_id, intent.slot, self.sim.now
+                )

@@ -211,6 +211,10 @@ class Coordinator:
             try:
                 outcome = yield from self.engine.run_attempt(logic, txn_id, attempts)
             except Interrupt as interrupt:
+                # recover_interrupted guards every await per-event; if it
+                # still dies, _run converts the escape into a node
+                # crash-stop and the RecoveryManager reclaims the locks.
+                # protolint: disable=PROTO007 -- escape crash-stops the node; RecoveryManager reclaims
                 outcome = yield from self.engine.recover_interrupted(interrupt.cause)
             except LinkRevokedError:
                 # We were (perhaps falsely) declared failed and fenced
@@ -224,6 +228,8 @@ class Coordinator:
                     end_time=self.sim.now,
                 )
             except RdmaError:
+                # Same hand-off as the Interrupt arm above.
+                # protolint: disable=PROTO007 -- escape crash-stops the node; RecoveryManager reclaims
                 outcome = yield from self.engine.recover_interrupted(None)
             if outcome.committed:
                 break

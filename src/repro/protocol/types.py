@@ -35,6 +35,7 @@ class AbortReason:
     USER = "user_abort"
     MEMORY_RECONFIG = "memory_reconfiguration"
     LINK_REVOKED = "link_revoked"
+    APP_ERROR = "app_error"
 
 
 class TxnAbort(Exception):

@@ -118,7 +118,7 @@ class QueuePair:
             # path fills with the measured latency (None when disabled or
             # the verb is system traffic with no focused attempt).
             flight_token = self.obs.flight.on_post(
-                kind, self.compute_id, self.memory_node.node_id, posted_at
+                kind, self.compute_id, self.memory_node.node_id, posted_at, args
             )
             self.sanitizer.on_post(
                 self.compute_id, self.memory_node.node_id, kind, args, posted_at

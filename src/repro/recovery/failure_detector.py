@@ -58,6 +58,10 @@ class FailureDetector:
         # partition between the node and the detector).
         self._blackholed: Set[Tuple[str, int]] = set()
         self.detections: List[Tuple[float, str, int]] = []
+        # Subset of detections that were *re*-declarations of an
+        # already-suspected node (the §3.2.2 step-1 rerun); the chaos
+        # campaign and the evaluation report surface this count.
+        self.redetections: List[Tuple[float, str, int]] = []
         self._process = None
 
     # -- registration ----------------------------------------------------------
@@ -169,6 +173,11 @@ class FailureDetector:
             coord_ids = node.coordinator_ids()
             if all(cid in self.id_allocator.failed for cid in coord_ids):
                 continue
+            self.redetections.append((now, kind, _node_id))
+            self.obs.tracer.instant(
+                "recovery", "redetect", now, pid=_node_id, args={"kind": kind}
+            )
+            self.obs.metrics.inc("fd.redetections", kind=kind)
             yield from self._declare_failed(key, node)
 
     def _declare_failed(self, key, node) -> Generator[Event, Any, None]:

@@ -1,0 +1,361 @@
+"""Unit tests for the generator-aware CFG builder (repro.analysis.cfg)."""
+
+import ast
+
+from repro.analysis.cfg import (
+    CFG,
+    build_cfg,
+    dotted_name,
+    exception_matches,
+    stmt_yield_values,
+)
+
+
+def _cfg(source: str, raises_for=None) -> CFG:
+    func = ast.parse(source).body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return build_cfg(func, raises_for)
+
+
+def _node(cfg: CFG, fragment: str):
+    matches = [n for n in cfg.stmt_nodes() if fragment in n.desc]
+    assert matches, f"no node matching {fragment!r} in:\n{cfg.render()}"
+    return matches[0]
+
+
+def _edges(cfg: CFG, fragment: str):
+    return {(t.desc, label) for t, label in _node(cfg, fragment).succs}
+
+
+def _reachable(cfg: CFG):
+    seen = set()
+    stack = [cfg.entry]
+    while stack:
+        node = stack.pop()
+        if node.node_id in seen:
+            continue
+        seen.add(node.node_id)
+        for target, _ in node.succs:
+            stack.append(target)
+    return seen
+
+
+class TestExceptionModel:
+    def test_hierarchy(self):
+        assert exception_matches(("RdmaError",), "LinkRevokedError")
+        assert exception_matches(("Exception",), "TxnAbort")
+        assert not exception_matches(("Exception",), "GeneratorExit")
+        assert not exception_matches(("TxnAbort",), "RdmaError")
+        assert exception_matches(("BaseException",), "GeneratorExit")
+
+    def test_bare_except_catches_all(self):
+        assert exception_matches(None, "GeneratorExit")
+        assert exception_matches(None, "RdmaError")
+
+    def test_unknown_exception_defaults_to_exception_subclass(self):
+        assert exception_matches(("Exception",), "SomeAppError")
+        assert not exception_matches(("RdmaError",), "SomeAppError")
+
+
+class TestYieldDetection:
+    def test_plain_and_yield_from(self):
+        stmt = ast.parse("x = yield event").body[0]
+        assert len(stmt_yield_values(stmt)) == 1
+        stmt = ast.parse("result = yield from self._commit(tx)").body[0]
+        assert len(stmt_yield_values(stmt)) == 1
+
+    def test_nested_def_and_lambda_skipped(self):
+        stmt = ast.parse(
+            "def inner():\n    yield 1\n"
+        ).body[0]
+        assert stmt_yield_values(stmt) == []
+        stmt = ast.parse("f = lambda: (yield 1)").body[0]
+        assert stmt_yield_values(stmt) == []
+
+    def test_compound_header_only(self):
+        # The for head itself does not yield just because its body does.
+        stmt = ast.parse("for ack in acks:\n    yield ack\n").body[0]
+        assert stmt_yield_values(stmt) == []
+        stmt = ast.parse("for x in (yield evt):\n    pass\n").body[0]
+        assert len(stmt_yield_values(stmt)) == 1
+
+
+class TestBranches:
+    def test_if_true_false_labels(self):
+        cfg = _cfg(
+            "def f(tx):\n"
+            "    if tx.log_acks:\n"
+            "        drain()\n"
+            "    release()\n"
+        )
+        edges = _edges(cfg, "if tx.log_acks")
+        assert ("drain()", "true") in edges
+        assert ("release()", "false") in edges
+
+    def test_for_exhausted_edge(self):
+        cfg = _cfg(
+            "def f(acks):\n"
+            "    for ack in acks:\n"
+            "        consume(ack)\n"
+            "    done()\n"
+        )
+        edges = _edges(cfg, "for ack in acks")
+        assert ("consume(ack)", "true") in edges
+        assert ("done()", "false") in edges
+        # Loop body flows back to the head.
+        assert ("for ack in acks", "") in _edges(cfg, "consume(ack)")
+
+    def test_while_true_has_no_exit_edge(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    while True:\n"
+            "        spin()\n"
+        )
+        labels = {label for _, label in _node(cfg, "while True").succs}
+        assert "false" not in labels
+
+    def test_break_and_continue(self):
+        cfg = _cfg(
+            "def f(items):\n"
+            "    for item in items:\n"
+            "        if bad(item):\n"
+            "            break\n"
+            "        if skip(item):\n"
+            "            continue\n"
+            "        work(item)\n"
+            "    after()\n"
+        )
+        assert ("after()", "") in _edges(cfg, "break")
+        assert ("for item in items", "") in _edges(cfg, "continue")
+
+
+class TestExceptionEdges:
+    YIELD = (
+        "def f(self):\n"
+        "    try:\n"
+        "        ack = yield event\n"
+        "    except RdmaError:\n"
+        "        handle()\n"
+        "    done()\n"
+    )
+
+    def test_yield_routes_to_matching_handler(self):
+        cfg = _cfg(self.YIELD)
+        edges = _edges(cfg, "ack = (yield event)")
+        assert ("handle()", "RdmaError") in edges
+        assert ("done()", "") in edges
+
+    def test_generator_exit_not_caught_by_except_rdma(self):
+        cfg = _cfg(self.YIELD)
+        node = _node(cfg, "ack = (yield event)")
+        kills = [t for t, label in node.succs if label == "GeneratorExit"]
+        assert kills == [cfg.kill_exit]
+
+    def test_bare_except_catches_generator_exit(self):
+        cfg = _cfg(
+            "def f(self):\n"
+            "    try:\n"
+            "        ack = yield event\n"
+            "    except:\n"
+            "        handle()\n"
+        )
+        edges = _edges(cfg, "ack = (yield event)")
+        assert ("handle()", "GeneratorExit") in edges
+
+    def test_handler_exception_skips_siblings(self):
+        cfg = _cfg(
+            "def f(self):\n"
+            "    try:\n"
+            "        ack = yield event\n"
+            "    except LinkRevokedError:\n"
+            "        cleanup = yield other\n"
+            "    except RdmaError:\n"
+            "        recover()\n"
+        )
+        # An RdmaError raised while *handling* LinkRevokedError must
+        # NOT reach the sibling RdmaError handler.
+        edges = _edges(cfg, "cleanup = (yield other)")
+        assert ("recover()", "RdmaError") not in edges
+        assert (cfg.raise_exit.desc, "RdmaError") in edges
+
+    def test_first_matching_handler_wins(self):
+        cfg = _cfg(
+            "def f(self):\n"
+            "    try:\n"
+            "        ack = yield event\n"
+            "    except LinkRevokedError:\n"
+            "        fence()\n"
+            "    except RdmaError:\n"
+            "        recover()\n"
+        )
+        edges = _edges(cfg, "ack = (yield event)")
+        assert ("fence()", "LinkRevokedError") in edges
+        assert ("recover()", "RdmaError") in edges
+
+    def test_explicit_raise(self):
+        cfg = _cfg(
+            "def f(self):\n"
+            "    raise TxnAbort(reason)\n"
+        )
+        edges = _edges(cfg, "raise TxnAbort")
+        assert (cfg.raise_exit.desc, "TxnAbort") in edges
+
+    def test_bare_reraise_uses_handler_type(self):
+        cfg = _cfg(
+            "def f(self):\n"
+            "    try:\n"
+            "        ack = yield event\n"
+            "    except LinkRevokedError:\n"
+            "        note()\n"
+            "        raise\n"
+            "    done()\n"
+        )
+        raise_node = [n for n in cfg.stmt_nodes() if n.desc == "raise"][0]
+        assert (cfg.raise_exit, "LinkRevokedError") in raise_node.succs
+
+
+class TestFinally:
+    def test_finally_duplicated_per_route(self):
+        cfg = _cfg(
+            "def f(self):\n"
+            "    try:\n"
+            "        ack = yield event\n"
+            "    finally:\n"
+            "        cleanup()\n"
+            "    done()\n"
+        )
+        # Normal path, RdmaError path, LinkRevoked path, and the kill
+        # path each get their own finally copy (normal is shared).
+        copies = [n for n in cfg.stmt_nodes() if n.desc == "cleanup()"]
+        assert len(copies) >= 4
+        kill_copies = [
+            n for n in copies if (cfg.kill_exit, "GeneratorExit") in n.succs
+        ]
+        assert len(kill_copies) == 1
+        raise_copies = [
+            n for n in copies if any(t is cfg.raise_exit for t, _ in n.succs)
+        ]
+        assert len(raise_copies) >= 1
+
+    def test_return_runs_finally(self):
+        cfg = _cfg(
+            "def f(self):\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        ret = _node(cfg, "return 1")
+        cleanups = [t for t, _ in ret.succs if t.desc == "cleanup()"]
+        assert cleanups, cfg.render()
+        assert (cfg.exit, "return") in cleanups[0].succs
+
+    def test_break_runs_finally_of_inner_try_only(self):
+        cfg = _cfg(
+            "def f(items):\n"
+            "    try:\n"
+            "        for item in items:\n"
+            "            try:\n"
+            "                break\n"
+            "            finally:\n"
+            "                inner()\n"
+            "    finally:\n"
+            "        outer()\n"
+            "    after()\n"
+        )
+        brk = _node(cfg, "break")
+        inner = [t for t, _ in brk.succs if t.desc == "inner()"]
+        assert inner
+        # break lands after the loop — still inside the outer try, so
+        # the outer finally runs when the try is left, not at break.
+        assert ("outer()", "") in {
+            (t.desc, label) for t, label in inner[0].succs
+        }
+        assert ("after()", "") in _edges(cfg, "outer()")
+
+    def test_nested_finallys_run_innermost_first(self):
+        cfg = _cfg(
+            "def f(self):\n"
+            "    try:\n"
+            "        try:\n"
+            "            ack = yield event\n"
+            "        finally:\n"
+            "            inner()\n"
+        "    finally:\n"
+            "        outer()\n"
+        )
+        node = _node(cfg, "ack = (yield event)")
+        rdma_targets = [t for t, label in node.succs if label == "RdmaError"]
+        assert [t.desc for t in rdma_targets] == ["inner()"]
+        next_hop = [
+            t for t, label in rdma_targets[0].succs if label == "RdmaError"
+        ]
+        assert [t.desc for t in next_hop] == ["outer()"]
+
+
+class TestWholeFunction:
+    def test_every_stmt_node_reachable_and_terminated(self):
+        source = (
+            "def run(self, tx):\n"
+            "    try:\n"
+            "        result = yield from self._execute(tx)\n"
+            "        for ack in tx.log_acks:\n"
+            "            try:\n"
+            "                yield ack\n"
+            "            except RdmaError:\n"
+            "                continue\n"
+            "        yield from self._commit(tx)\n"
+            "    except TxnAbort:\n"
+            "        yield from self._abort(tx)\n"
+            "    except RdmaError:\n"
+            "        yield from self.recover_interrupted(tx)\n"
+            "    finally:\n"
+            "        self.current_tx = None\n"
+            "    return result\n"
+        )
+        def raises_for(stmt):
+            if stmt_yield_values(stmt):
+                # Model the engine: delegated calls can surface aborts.
+                return ("TxnAbort", "RdmaError", "LinkRevokedError",
+                        "GeneratorExit")
+            return ()
+
+        cfg = _cfg(source, raises_for)
+        reachable = _reachable(cfg)
+        for node in cfg.stmt_nodes():
+            assert node.node_id in reachable, node
+            assert node.succs, f"dangling node {node}"
+
+    def test_custom_raises_for(self):
+        def raises_for(stmt):
+            if stmt_yield_values(stmt):
+                return ("TxnAbort", "GeneratorExit")
+            return ()
+
+        cfg = _cfg(
+            "def f(self):\n"
+            "    try:\n"
+            "        yield event\n"
+            "    except TxnAbort:\n"
+            "        aborted()\n",
+            raises_for,
+        )
+        edges = _edges(cfg, "yield event")
+        assert ("aborted()", "TxnAbort") in edges
+        labels = {label for _, label in _node(cfg, "yield event").succs}
+        assert "RdmaError" not in labels
+
+    def test_docstring_skipped(self):
+        cfg = _cfg('def f():\n    """doc"""\n    work()\n')
+        descs = [n.desc for n in cfg.stmt_nodes()]
+        assert descs == ["work()"]
+
+
+class TestDottedName:
+    def test_chains(self):
+        expr = ast.parse("self.verbs.cas_lock(1)").body[0].value
+        assert dotted_name(expr.func) == "self.verbs.cas_lock"
+        expr = ast.parse("x").body[0].value
+        assert dotted_name(expr) == "x"
+        expr = ast.parse("f()(1)").body[0].value
+        assert dotted_name(expr.func) is None

@@ -4,14 +4,21 @@ import pytest
 
 from repro.analysis.mutants import (
     MUTANTS,
+    STATIC_MUTANTS,
     render_results,
     run_mutation_harness,
+    run_static_mutants,
 )
 
 
 @pytest.fixture(scope="module")
 def results():
     return run_mutation_harness()
+
+
+@pytest.fixture(scope="module")
+def static_results():
+    return run_static_mutants()
 
 
 def test_every_mutant_has_a_result(results):
@@ -36,7 +43,51 @@ def test_render_results_summarises(results):
     assert f"{len(results)}/{len(results)} mutants detected" in text
 
 
+def test_race_detector_cross_checks_dynamic_mutants(results):
+    """The lockset detector independently confirms the race-shaped
+    mutants from the same runs' flight records, and sees no races in
+    any control run."""
+    with_race = [r for r in results if r.expected_race is not None]
+    assert len(with_race) >= 2
+    for result in with_race:
+        assert result.race_caught, (result.name, result.race_codes)
+    for result in results:
+        assert not result.control_race_codes, (
+            result.name,
+            result.control_race_codes,
+        )
+
+
+def test_static_mutants_cover_the_targeted_rules():
+    rules = {spec.expected_rule for spec in STATIC_MUTANTS}
+    # Drop-a-finally-release, skip-an-ack-drain, and remove-a-crash-
+    # point are the ISSUE-mandated minimum.
+    assert {"PROTO001", "PROTO002", "PROTO004"} <= rules
+    assert len(STATIC_MUTANTS) >= 3
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in STATIC_MUTANTS])
+def test_static_mutant_flagged_with_clean_control(static_results, name):
+    result = next(r for r in static_results if r.name == name)
+    assert result.applied, f"{name}: mutation no longer matches the source"
+    assert result.caught, (name, result.rules)
+    assert result.control_clean, (name, result.control_rules)
+    assert result.passed
+
+
+def test_pr4_lock_leak_is_flagged_statically(static_results):
+    """Acceptance criterion: re-introducing the PR 4 abort-path lock
+    leak is caught by protolint as PROTO001 without any simulation."""
+    result = next(r for r in static_results if r.name == "abort-allof-drain")
+    assert "PROTO001" in result.rules
+
+
+def test_render_includes_static_section(results, static_results):
+    text = render_results(results, static_results)
+    assert "static mutants flagged by protolint" in text
+
+
 def test_cli_mutants_exit_zero():
     from repro.analysis.cli import main
 
-    assert main(["mutants"]) == 0
+    assert main(["mutants", "--skip-static"]) == 0

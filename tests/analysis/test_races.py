@@ -1,0 +1,241 @@
+"""Tests for the lockset race detector over flight-recorder traces."""
+
+import json
+
+from repro.analysis.races import (
+    analyze_attempts,
+    analyze_lock_events,
+    analyze_traces,
+    load_flight_jsonl,
+    render_json,
+    render_text,
+)
+from repro.obs.flight import FlightAttempt
+
+
+def _attempt(coord, txn, locks=(), verbs=(), outcome="commit", node=None):
+    record = FlightAttempt(
+        "pandora", coord if node is None else node, coord, txn, 1, 0.0
+    )
+    record.locks = [tuple(event) for event in locks]
+    record.verbs = [list(entry) for entry in verbs]
+    record.outcome = outcome
+    record.open = outcome is None
+    return record
+
+
+def _write(ts, table, slot, phase="commit"):
+    """A write_object verb entry carrying its region detail."""
+    return ["write_object", 0, phase, ts, 5e-7, True, [table, slot, 2]]
+
+
+class TestOwnershipIntervals:
+    def test_disjoint_holders_are_clean(self):
+        a = _attempt(0, 0x10, locks=[("acquired", 0, 3, 1.0), ("released", 0, 3, 2.0)])
+        b = _attempt(1, 0x20, locks=[("acquired", 0, 3, 3.0), ("released", 0, 3, 4.0)])
+        report = analyze_attempts([a, b])
+        assert report.races == []
+        assert report.attempts == 2
+        assert report.regions == 1
+
+    def test_overlap_between_coordinators_is_double_grant(self):
+        a = _attempt(0, 0x10, locks=[("acquired", 0, 3, 1.0), ("released", 0, 3, 5.0)])
+        b = _attempt(1, 0x20, locks=[("acquired", 0, 3, 2.0), ("released", 0, 3, 3.0)])
+        report = analyze_attempts([a, b])
+        assert [race.code for race in report.races] == ["RACE-DOUBLE-GRANT"]
+        assert report.races[0].table == 0 and report.races[0].slot == 3
+
+    def test_same_coordinator_overlap_is_not_a_race(self):
+        """Sequential attempts of one coordinator can appear to overlap
+        at identical timestamps; they are one thread of control."""
+        a = _attempt(0, 0x10, locks=[("acquired", 0, 3, 1.0), ("released", 0, 3, 3.0)])
+        b = _attempt(0, 0x20, locks=[("acquired", 0, 3, 2.0), ("released", 0, 3, 4.0)])
+        assert analyze_attempts([a, b]).races == []
+
+    def test_steal_from_crashed_owner_is_sanctioned(self):
+        """PILL's takeover: the owner crashed mid-attempt (no outcome,
+        no release) and the thief marked its acquire as a steal."""
+        dead = _attempt(0, 0x10, locks=[("acquired", 0, 3, 1.0)], outcome=None)
+        thief = _attempt(
+            1,
+            0x20,
+            locks=[("steal", 0, 3, 2.0), ("acquired", 0, 3, 2.0)],
+        )
+        assert analyze_attempts([dead, thief]).races == []
+
+    def test_regrant_after_recovery_release_is_sanctioned(self):
+        """After recovery releases a dead coordinator's stray lock at
+        the memory server, later grants are ordinary acquires — no
+        steal marker, and no release in the dead owner's flight record.
+        They must not count against the crashed owner's open interval
+        (the failover-trace false-positive pattern)."""
+        dead = _attempt(0, 0x10, locks=[("acquired", 0, 3, 1.0)], outcome=None)
+        later = _attempt(
+            1,
+            0x20,
+            locks=[("acquired", 0, 3, 5.0), ("released", 0, 3, 6.0)],
+        )
+        assert analyze_attempts([dead, later]).races == []
+
+    def test_steal_from_live_owner_is_flagged(self):
+        """A steal overlapping an owner whose attempt *finished* is the
+        symptom of a leak or a broken stray check — never sanctioned."""
+        live = _attempt(0, 0x10, locks=[("acquired", 0, 3, 1.0)], outcome="commit")
+        thief = _attempt(
+            1,
+            0x20,
+            locks=[("steal", 0, 3, 2.0), ("acquired", 0, 3, 2.0)],
+        )
+        report = analyze_attempts([live, thief])
+        assert [race.code for race in report.races] == ["RACE-DOUBLE-GRANT"]
+
+
+class TestWriteAttribution:
+    def test_owner_writing_in_place_is_clean(self):
+        a = _attempt(
+            0,
+            0x10,
+            locks=[("acquired", 0, 3, 1.0), ("released", 0, 3, 4.0)],
+            verbs=[_write(2.0, 0, 3)],
+        )
+        report = analyze_attempts([a])
+        assert report.races == []
+        assert report.writes_checked == 1
+
+    def test_write_under_other_owner_is_conflict(self):
+        owner = _attempt(0, 0x10, locks=[("acquired", 0, 3, 1.0), ("released", 0, 3, 4.0)])
+        intruder = _attempt(1, 0x20, verbs=[_write(2.0, 0, 3)])
+        report = analyze_attempts([owner, intruder])
+        assert [race.code for race in report.races] == ["RACE-CONFLICT"]
+
+    def test_write_with_no_owner_is_unlocked_write(self):
+        a = _attempt(0, 0x10, verbs=[_write(2.0, 0, 3)])
+        report = analyze_attempts([a])
+        assert [race.code for race in report.races] == ["RACE-UNLOCKED-WRITE"]
+
+    def test_write_after_release_is_unlocked_write(self):
+        a = _attempt(
+            0,
+            0x10,
+            locks=[("acquired", 0, 3, 1.0), ("released", 0, 3, 2.0)],
+            verbs=[_write(3.0, 0, 3)],
+        )
+        report = analyze_attempts([a])
+        assert [race.code for race in report.races] == ["RACE-UNLOCKED-WRITE"]
+
+    def test_verbs_without_region_detail_are_ignored(self):
+        """Old-format traces (pre region-detail) carry 6-element verb
+        entries; the detector skips them rather than guessing."""
+        a = _attempt(
+            0, 0x10, verbs=[["write_object", 0, "commit", 2.0, 5e-7, True]]
+        )
+        report = analyze_attempts([a])
+        assert report.races == []
+        assert report.writes_checked == 0
+
+
+class TestSanitizerLockEvents:
+    def test_steal_from_live_compute_is_flagged(self):
+        events = [
+            (1.0, 0, 3, "grant", 7, 7),
+            (2.0, 0, 3, "steal", 9, 9),
+        ]
+        report = analyze_lock_events(events)
+        assert [race.code for race in report.races] == ["RACE-DOUBLE-GRANT"]
+        assert report.races[0].actors == ("c7", "c9")
+
+    def test_steal_from_failed_compute_is_sanctioned(self):
+        events = [
+            (1.0, 0, 3, "grant", 7, 7),
+            (2.0, 0, 3, "steal", 9, 9),
+        ]
+        assert analyze_lock_events(events, failed_ids={7}).races == []
+
+    def test_release_clears_ownership(self):
+        events = [
+            (1.0, 0, 3, "grant", 7, 7),
+            (2.0, 0, 3, "release", 7, 0),
+            (3.0, 0, 3, "steal", 9, 9),
+        ]
+        assert analyze_lock_events(events).races == []
+
+
+class TestTraceFiles:
+    def _export(self, tmp_path, attempts, name="flight.jsonl"):
+        path = tmp_path / name
+        with open(path, "w") as handle:
+            handle.write('{"ph": "meta", "protocol": "pandora"}\n')
+            handle.write("not json at all\n")
+            for record in attempts:
+                handle.write(json.dumps(record.to_json()) + "\n")
+        return str(path)
+
+    def test_load_skips_non_flight_lines(self, tmp_path):
+        a = _attempt(0, 0x10, locks=[("acquired", 0, 3, 1.0), ("released", 0, 3, 2.0)])
+        path = self._export(tmp_path, [a])
+        loaded = load_flight_jsonl(path)
+        assert len(loaded) == 1
+        assert loaded[0].locks == [("acquired", 0, 3, 1.0), ("released", 0, 3, 2.0)]
+
+    def test_analyze_traces_merges_files(self, tmp_path):
+        owner = _attempt(0, 0x10, locks=[("acquired", 0, 3, 1.0), ("released", 0, 3, 4.0)])
+        intruder = _attempt(1, 0x20, verbs=[_write(2.0, 0, 3)])
+        one = self._export(tmp_path, [owner, intruder], name="a.jsonl")
+        two = self._export(tmp_path, [owner], name="b.jsonl")
+        report = analyze_traces([one, two])
+        assert report.attempts == 3
+        assert len(report.traces) == 2
+        assert [race.code for race in report.races] == ["RACE-CONFLICT"]
+        assert report.races[0].trace == one
+
+    def test_render_text_and_json(self, tmp_path):
+        a = _attempt(0, 0x10, verbs=[_write(2.0, 0, 3)])
+        report = analyze_attempts([a])
+        text = render_text(report)
+        assert "RACE-UNLOCKED-WRITE" in text and "races: 1" in text
+        blob = json.loads(render_json(report))
+        assert blob["count"] == 1
+        assert blob["races"][0]["code"] == "RACE-UNLOCKED-WRITE"
+
+    def test_cli_races_exit_codes(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+
+        clean = self._export(
+            tmp_path,
+            [_attempt(0, 0x10, locks=[("acquired", 0, 3, 1.0), ("released", 0, 3, 2.0)])],
+            name="clean.jsonl",
+        )
+        assert main(["races", clean]) == 0
+        capsys.readouterr()
+        racy = self._export(
+            tmp_path, [_attempt(0, 0x10, verbs=[_write(2.0, 0, 3)])], name="racy.jsonl"
+        )
+        assert main(["races", racy]) == 1
+        assert "RACE-UNLOCKED-WRITE" in capsys.readouterr().out
+
+
+class TestLiveClusterIsClean:
+    def test_steady_pandora_run_has_no_races(self):
+        """End-to-end: a healthy seeded run's flight records pass the
+        detector (the shipped-engine control for the mutant checks)."""
+        from repro.bench.harness import run_steady_state
+        from repro.obs import Obs
+        from repro.workloads import MicroBenchmark
+
+        obs = Obs(trace=False, flight=True)
+
+        def _micro():
+            return MicroBenchmark(num_keys=200, write_ratio=0.5)
+
+        run_steady_state(
+            _micro,
+            "pandora",
+            obs=obs,
+            duration=4e-3,
+            warmup=1e-3,
+            coordinators_per_node=4,
+            seed=11,
+        )
+        report = analyze_attempts(obs.flight.attempts)
+        assert report.attempts > 0
+        assert report.races == []

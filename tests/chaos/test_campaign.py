@@ -9,6 +9,7 @@ from dataclasses import replace
 import pytest
 
 from repro.chaos import generate_schedule, run_schedule
+from repro.chaos.schedule import Fault, Schedule
 
 # One seed per fault family (seed % 5 selects the family).
 FAMILY_SEEDS = (0, 1, 2, 3, 4)
@@ -51,6 +52,36 @@ class TestCampaign:
         result = run_schedule(generate_schedule(3))
         summary = result.summary()
         assert "seed=3" in summary and "logserver" in summary
+
+    def test_redetections_surface_in_result_and_summary(self):
+        """When the schedule's own recovery re-trigger is pushed past
+        the run (restart_after > duration), only the FD's re-detection
+        can heal the killed recovery — and the result counts it."""
+        schedule = Schedule(
+            seed=999,
+            family="recovery_crash",
+            duration=20e-3,
+            faults=[
+                Fault(kind="crash_compute", at=4e-3, node=0),
+                Fault(
+                    kind="crash_recovery",
+                    node=0,
+                    # Strike 5us in: compute recovery completes in tens
+                    # of us, so a longer delay misses it entirely.
+                    after=5e-6,
+                    restart_after=1.0,
+                ),
+            ],
+        )
+        result = run_schedule(schedule)
+        assert result.ok, [v.detail for v in result.violations]
+        assert result.recovery_kills >= 1
+        assert result.redetections >= 1
+        assert f"redetects={result.redetections}" in result.summary()
+
+    def test_redetect_interval_zero_disables_redetection(self):
+        result = run_schedule(generate_schedule(1), fd_redetect_interval=0.0)
+        assert result.redetections == 0
 
 
 class TestOraclePositiveControl:

@@ -126,6 +126,67 @@ class TestInterruptHandling:
             assert rig.value_at(3) == 555
 
 
+class TestAppErrorReleasesLocks:
+    """Regression for the PROTO001 leak protolint found in run_attempt.
+
+    An unmodeled exception from application logic used to escape the
+    engine with the write-set's eagerly-acquired locks still set under
+    a live coordinator id — unstealable by PILL forever. run_attempt
+    now routes generic exceptions through the abort path before
+    re-raising.
+    """
+
+    def test_app_exception_releases_held_locks(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+        coordinator = rig.coordinators[0]
+
+        def buggy(tx):
+            # read_for_update acquires the write lock synchronously, so
+            # the lock is definitely held when the bug fires.
+            yield from tx.read_for_update("kv", 5)
+            raise ValueError("application bug")
+
+        caught = []
+
+        def driver():
+            try:
+                yield from coordinator.engine.run_attempt(
+                    buggy, coordinator.next_txn_id()
+                )
+            except ValueError as error:
+                caught.append(error)
+
+        rig.sim.process(driver(), name="driver")
+        rig.sim.run()
+        assert caught, "the application error must still propagate"
+        assert rig.slot_state(5).lock == 0  # lock released by abort path
+
+    def test_app_exception_mid_writes_releases_all(self, rig_factory):
+        rig = rig_factory(protocol="pandora")
+        coordinator = rig.coordinators[0]
+
+        def buggy(tx):
+            yield from tx.read_for_update("kv", 7)
+            yield from tx.read_for_update("kv", 8)
+            raise KeyError("missing application state")
+
+        caught = []
+
+        def driver():
+            try:
+                yield from coordinator.engine.run_attempt(
+                    buggy, coordinator.next_txn_id()
+                )
+            except KeyError as error:
+                caught.append(error)
+
+        rig.sim.process(driver(), name="driver")
+        rig.sim.run()
+        assert caught
+        assert rig.slot_state(7).lock == 0
+        assert rig.slot_state(8).lock == 0
+
+
 class TestMemoryNodeLossDuringTxn:
     def test_txn_aborts_cleanly_when_replica_dies(self, rig_factory):
         rig = rig_factory(protocol="pandora", memory_nodes=2, replication=2)

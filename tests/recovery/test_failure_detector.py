@@ -168,6 +168,47 @@ class TestRedetection:
         with pytest.raises(ValueError):
             make_cluster(fd_redetect_interval=-1.0)
 
+    def test_redetections_counted_separately(self):
+        """Re-declarations land in fd.redetections (the first,
+        ordinary declaration does not) so reports can surface them."""
+        cluster = make_cluster(
+            fd_timeout=5e-3, fd_redetect_interval=2e-3, restart_failed_after=2e-3
+        )
+        self._crash_and_kill_recovery(cluster)
+        redetected = [
+            r for r in cluster.fd.redetections if r[1:] == ("compute", 0)
+        ]
+        declared = [
+            d for d in cluster.fd.detections if d[1:] == ("compute", 0)
+        ]
+        assert redetected
+        assert len(declared) == len(redetected) + 1
+
+    def test_redetections_surface_in_report(self):
+        """The "redetect" tracer instant feeds the evaluation report's
+        re-detection table."""
+        from repro.obs import Obs
+        from repro.obs.report import from_obs, redetection_counts
+
+        config = ClusterConfig(
+            coordinators_per_node=2,
+            seed=21,
+            fd_timeout=5e-3,
+            fd_redetect_interval=2e-3,
+            restart_failed_after=2e-3,
+        )
+        obs = Obs(trace=True)
+        cluster = Cluster(
+            config, MicroBenchmark(num_keys=200, write_ratio=1.0), obs=obs
+        )
+        cluster.start()
+        self._crash_and_kill_recovery(cluster)
+        rows = redetection_counts(from_obs(cluster.obs))
+        assert rows, "no redetect instants reached the report"
+        node_id, kind, count = rows[0]
+        assert (node_id, kind) == (0, "compute")
+        assert count == len(cluster.fd.redetections)
+
     def test_distributed_fd_redetects_too(self):
         cluster = make_cluster(
             distributed=True,
