@@ -9,6 +9,9 @@ Usage (also via ``python -m repro``)::
     python -m repro recovery-latency --coordinators 1 8 32 64
     python -m repro perf --collapsed kernel.folded
     python -m repro perf --bench --baseline benchmarks/results/BENCH_KERNEL.json
+    python -m repro load --sweep --workload smallbank --html curves.html
+    python -m repro load --offered 300000 --protocols ford --oracle --progress
+    python -m repro obs-report --compare BENCH_LOAD.json fresh.json
 
 Every command prints the same tables/series the benchmark harness
 writes, so the paper's experiments are reproducible without pytest.
@@ -251,7 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="render flight-recorder reports from --trace *.jsonl exports",
     )
     report.add_argument(
-        "paths", nargs="+", metavar="TRACE.jsonl",
+        "paths", nargs="*", metavar="TRACE.jsonl",
         help="one or more JSONL trace exports (repro <cmd> --trace out.jsonl)",
     )
     report.add_argument(
@@ -262,6 +265,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit 1 if any run violates the §4 logging claim",
     )
+    report.add_argument(
+        "--compare", nargs=2, metavar=("A.json", "B.json"), default=None,
+        help="print a delta table between two BENCH_*.json snapshots "
+             "(load sweeps or steady-state payloads) instead of a "
+             "flight-recorder report",
+    )
+
+    from repro.load.arrivals import ARRIVAL_KINDS
+
+    load = sub.add_parser(
+        "load",
+        help="open-loop load observatory: latency-vs-offered-load curves "
+             "with live SLO monitors and workload invariants",
+    )
+    load.add_argument("--workload", default="smallbank")
+    load.add_argument(
+        "--protocols", nargs="+", default=["pandora", "ford", "tradlog"],
+        choices=PROTOCOLS, metavar="PROTO",
+        help="protocols to sweep over the same offered grid "
+             "(default: pandora ford tradlog)",
+    )
+    load.add_argument(
+        "--sweep", action="store_true",
+        help="walk the default offered grid (multiples of estimated "
+             "closed-loop capacity); this is the default when --offered "
+             "is not given",
+    )
+    load.add_argument(
+        "--offered", type=float, nargs="+", default=None, metavar="TPS",
+        help="explicit offered rates (tps) instead of the capacity grid",
+    )
+    load.add_argument(
+        "--arrivals", default="poisson", choices=sorted(ARRIVAL_KINDS),
+        help="arrival process shaping the open-loop request stream",
+    )
+    load.add_argument(
+        "--users", type=int, default=256,
+        help="Zipf-skewed user population size (default 256)",
+    )
+    load.add_argument(
+        "--theta", type=float, default=0.99,
+        help="Zipf skew over users (default 0.99)",
+    )
+    load.add_argument("--duration-ms", type=float, default=10.0)
+    load.add_argument(
+        "--oracle", action="store_true",
+        help="run end-of-run consistency checks: the chaos oracle plus "
+             "the workload-level invariants (money conservation for "
+             "smallbank, order-id consistency for tpcc)",
+    )
+    load.add_argument(
+        "--crash-at-ms", type=float, default=None, metavar="MS",
+        help="crash compute node 0 at this point in the measured window "
+             "(chaos under load; pair with --oracle)",
+    )
+    load.add_argument(
+        "--slo-p99-us", type=float, default=None, metavar="US",
+        help="rolling-window p99 target; breaches are counted live",
+    )
+    load.add_argument(
+        "--slo-abort-rate", type=float, default=None, metavar="FRAC",
+        help="rolling-window abort-rate target (fraction, e.g. 0.05)",
+    )
+    load.add_argument(
+        "--progress", action="store_true",
+        help="print live SLO gauge lines during the run and per-point "
+             "sweep progress",
+    )
+    load.add_argument(
+        "--snapshot", metavar="NAME", default=None,
+        help="write benchmarks/results/BENCH_<NAME>.json with the curves",
+    )
+    load.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="compare against a committed BENCH_LOAD.json and exit 1 on "
+             "regression (throughput floor, CO-p99 ceiling, exact commits)",
+    )
+    load.add_argument(
+        "--tolerance", type=float, default=None,
+        help="fractional drift allowed vs the baseline "
+             "(default: the baseline's own tolerance field)",
+    )
+    load.add_argument(
+        "--html", metavar="PATH", default=None,
+        help="write an HTML report with SVG curve plots to PATH",
+    )
+    load.add_argument("--seed", type=int, default=42)
     return parser
 
 
@@ -531,6 +621,128 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _load_workload_setup(name: str, oracle: bool):
+    """(factory, monitor_factory) for one ``repro load`` run.
+
+    The load sizes are smaller than the steady-state ones: open-loop
+    points build a fresh cluster per (protocol, offered) pair, and the
+    Zipf population concentrates traffic on a hot subset anyway.
+    With ``--oracle``, smallbank switches to its conserving-only mix so
+    the money-conservation invariant is exact, and tpcc gains the
+    order-id monitor.
+    """
+    from repro.load import ConservationMonitor, OrderIdMonitor
+
+    if name == "smallbank":
+        factory = lambda: SmallBank(  # noqa: E731
+            accounts=2_000, hot_accounts=500, conserving_only=oracle
+        )
+        monitors = (lambda w: [ConservationMonitor(w)]) if oracle else None
+        return factory, monitors
+    if name == "tatp":
+        return (lambda: Tatp(subscribers=2_000)), None
+    if name == "tpcc":
+        factory = lambda: TpcC(  # noqa: E731
+            warehouses=2, customers_per_district=100, items=1_000
+        )
+        monitors = (lambda w: [OrderIdMonitor(w)]) if oracle else None
+        return factory, monitors
+    if name == "micro":
+        return (lambda: MicroBenchmark(num_keys=10_000, write_ratio=1.0)), None
+    raise SystemExit(
+        f"unknown workload {name!r}; "
+        "choose from ['micro', 'smallbank', 'tatp', 'tpcc']"
+    )
+
+
+def _cmd_load(args) -> int:
+    from repro.load import (
+        SloMonitor,
+        compare_to_baseline,
+        format_curves,
+        make_arrivals,
+        run_sweep,
+        sweep_payload,
+    )
+
+    factory, monitor_factory = _load_workload_setup(args.workload, args.oracle)
+    progress = print if args.progress else None
+    slo_factory = None
+    if args.slo_p99_us or args.slo_abort_rate or args.progress:
+        slo_factory = lambda: SloMonitor(  # noqa: E731
+            p99_target=(
+                args.slo_p99_us * 1e-6 if args.slo_p99_us else None
+            ),
+            abort_rate_target=args.slo_abort_rate,
+            progress=progress,
+        )
+    crash_compute = []
+    if args.crash_at_ms is not None:
+        crash_compute.append((0, args.crash_at_ms * 1e-3))
+    curves = run_sweep(
+        factory,
+        protocols=args.protocols,
+        grid=args.offered,
+        duration=args.duration_ms * 1e-3,
+        arrivals=make_arrivals(args.arrivals),
+        users=args.users,
+        zipf_theta=args.theta,
+        monitor_factory=monitor_factory,
+        check_oracle=args.oracle,
+        progress=progress,
+        slo_factory=slo_factory,
+        crash_compute=crash_compute,
+        seed=args.seed,
+    )
+    print(format_curves(curves))
+    payload = sweep_payload(
+        curves,
+        tolerance=(
+            args.tolerance if args.tolerance is not None else 0.25
+        ),
+    )
+    if args.snapshot:
+        from repro.bench.report import write_bench_snapshot
+
+        write_bench_snapshot(args.snapshot, payload)
+    if args.html:
+        from repro.obs.report import render_load_html
+
+        try:
+            with open(args.html, "w") as handle:
+                handle.write(render_load_html(payload))
+        except OSError as error:
+            raise SystemExit(
+                f"cannot write HTML report to {args.html!r}: {error}"
+            )
+        print(f"html report -> {args.html}")
+    violations = sum(
+        len(point.violations) for curve in curves for point in curve.points
+    )
+    if violations:
+        print(f"load oracle: {violations} violation(s) — see tables above")
+    if args.baseline:
+        import json as json_module
+
+        try:
+            with open(args.baseline) as handle:
+                baseline = json_module.load(handle)
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"cannot read baseline {args.baseline!r}: {error}"
+            )
+        failures = compare_to_baseline(
+            payload, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            print("load regression vs baseline:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"load: within tolerance of {args.baseline}")
+    return 1 if violations else 0
+
+
 def _cmd_obs_report(args) -> int:
     from repro.obs.report import (
         check_log_write_claim,
@@ -538,6 +750,33 @@ def _cmd_obs_report(args) -> int:
         print_report,
         render_html,
     )
+
+    if args.compare:
+        import json as json_module
+
+        from repro.obs.report import compare_snapshots
+
+        payloads = []
+        for path in args.compare:
+            try:
+                with open(path) as handle:
+                    payloads.append(json_module.load(handle))
+            except (OSError, ValueError) as error:
+                raise SystemExit(f"cannot read snapshot {path!r}: {error}")
+        print(
+            compare_snapshots(
+                payloads[0],
+                payloads[1],
+                label_before=args.compare[0],
+                label_after=args.compare[1],
+            )
+        )
+        if not args.paths:
+            return 0
+    elif not args.paths:
+        raise SystemExit(
+            "obs-report needs TRACE.jsonl paths or --compare A.json B.json"
+        )
 
     runs = []
     for path in args.paths:
@@ -575,6 +814,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "perf": _cmd_perf,
         "obs-report": _cmd_obs_report,
+        "load": _cmd_load,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,180 @@
+"""Open-loop arrival processes: intended request times.
+
+An arrival process generates the absolute times at which the *population*
+decides to issue requests. Open-loop means these times never depend on
+how the system is coping — a saturated cluster keeps receiving arrivals
+at the offered rate and the backlog grows, which is exactly the regime
+closed-loop drivers cannot produce.
+
+Every process is deterministic given a seeded ``random.Random`` and is
+parameterised by the *mean* offered rate, so a sweep point offering
+``rate`` txn/s offers that rate on average under every shape:
+
+* :class:`PoissonArrivals` — memoryless, the M/G/c reference shape.
+* :class:`MmppArrivals` — a two-state Markov-modulated Poisson process
+  alternating burst and quiet phases (LOTUS-style bursty traffic);
+  state rates are scaled so the long-run average equals *rate*.
+* :class:`DiurnalArrivals` — a sinusoidal ramp from trough to peak and
+  back over the run (a compressed day), sampled by thinning against
+  the peak rate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterator
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MmppArrivals",
+    "DiurnalArrivals",
+    "ARRIVAL_KINDS",
+    "make_arrivals",
+]
+
+
+class ArrivalProcess:
+    """Generates absolute arrival times in ``[start, end)``."""
+
+    name = "arrival"
+
+    def times(
+        self, rate: float, start: float, end: float, rng: random.Random
+    ) -> Iterator[float]:
+        """Yield strictly increasing arrival times; mean rate = *rate*."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(rate: float, start: float, end: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if end <= start:
+            raise ValueError(f"empty window: [{start}, {end})")
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential interarrivals at a constant rate."""
+
+    name = "poisson"
+
+    def times(
+        self, rate: float, start: float, end: float, rng: random.Random
+    ) -> Iterator[float]:
+        self._check(rate, start, end)
+        now = start
+        while True:
+            now += rng.expovariate(rate)
+            if now >= end:
+                return
+            yield now
+
+
+class MmppArrivals(ArrivalProcess):
+    """Two-state MMPP: Poisson bursts alternating with quiet phases.
+
+    The burst state offers ``burst_factor * rate`` and the quiet state
+    ``(2 - burst_factor) * rate``; with equal mean dwell times the
+    long-run average is exactly *rate*. Dwell times are exponential
+    (mean ``dwell`` seconds), so phase boundaries are memoryless and
+    arrivals inside a phase are plain Poisson at the phase rate.
+    """
+
+    name = "bursty"
+
+    def __init__(self, burst_factor: float = 1.7, dwell: float = 1e-3) -> None:
+        if not 1.0 < burst_factor < 2.0:
+            raise ValueError(
+                f"burst_factor must be in (1, 2), got {burst_factor}"
+            )
+        if dwell <= 0:
+            raise ValueError(f"dwell must be positive, got {dwell}")
+        self.burst_factor = burst_factor
+        self.dwell = dwell
+
+    def times(
+        self, rate: float, start: float, end: float, rng: random.Random
+    ) -> Iterator[float]:
+        self._check(rate, start, end)
+        rates = (self.burst_factor * rate, (2.0 - self.burst_factor) * rate)
+        state = 0  # start in the burst phase (worst case first)
+        now = start
+        phase_end = start + rng.expovariate(1.0 / self.dwell)
+        while now < end:
+            gap = rng.expovariate(rates[state])
+            if now + gap >= phase_end:
+                # Cross into the next phase; the exponential is
+                # memoryless, so we redraw from the new rate there.
+                now = phase_end
+                state = 1 - state
+                phase_end = now + rng.expovariate(1.0 / self.dwell)
+                continue
+            now += gap
+            if now >= end:
+                return
+            yield now
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal rate ramp: trough → peak → trough across the window.
+
+    ``peak_to_trough`` is the ratio between the peak and trough rates;
+    the instantaneous rate is ``rate * (1 + a*sin(...))`` with
+    ``a = (p-1)/(p+1)``, which averages to *rate* over whole periods.
+    Sampling thins a Poisson stream at the peak rate, the standard
+    exact method for inhomogeneous Poisson processes.
+    """
+
+    name = "diurnal"
+
+    def __init__(self, peak_to_trough: float = 4.0, periods: float = 1.0) -> None:
+        if peak_to_trough < 1.0:
+            raise ValueError(
+                f"peak_to_trough must be >= 1, got {peak_to_trough}"
+            )
+        if periods <= 0:
+            raise ValueError(f"periods must be positive, got {periods}")
+        self.peak_to_trough = peak_to_trough
+        self.periods = periods
+
+    def rate_at(self, rate: float, fraction: float) -> float:
+        """Instantaneous rate at *fraction* in [0, 1] of the window."""
+        amplitude = (self.peak_to_trough - 1.0) / (self.peak_to_trough + 1.0)
+        phase = 2.0 * math.pi * self.periods * fraction
+        # -cos starts the day at the trough and peaks mid-period.
+        return rate * (1.0 - amplitude * math.cos(phase))
+
+    def times(
+        self, rate: float, start: float, end: float, rng: random.Random
+    ) -> Iterator[float]:
+        self._check(rate, start, end)
+        amplitude = (self.peak_to_trough - 1.0) / (self.peak_to_trough + 1.0)
+        peak_rate = rate * (1.0 + amplitude)
+        span = end - start
+        now = start
+        while True:
+            now += rng.expovariate(peak_rate)
+            if now >= end:
+                return
+            wanted = self.rate_at(rate, (now - start) / span)
+            if rng.random() * peak_rate < wanted:
+                yield now
+
+
+#: CLI-facing registry: kind name -> zero-argument factory.
+ARRIVAL_KINDS: Dict[str, type] = {
+    PoissonArrivals.name: PoissonArrivals,
+    MmppArrivals.name: MmppArrivals,
+    DiurnalArrivals.name: DiurnalArrivals,
+}
+
+
+def make_arrivals(kind: str) -> ArrivalProcess:
+    """Instantiate an arrival process by registry name."""
+    try:
+        return ARRIVAL_KINDS[kind]()
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival kind {kind!r}; choose from {sorted(ARRIVAL_KINDS)}"
+        ) from None

@@ -1,0 +1,109 @@
+"""A Zipf-skewed user population with per-user sessions.
+
+The open-loop engine asks the population for the next request at each
+arrival instant. The population draws *which user* issues it from a
+Zipf distribution over user ids (the alias-method sampler makes this
+O(1) per arrival), then asks the workload for that user's next
+transaction through :meth:`Workload.user_transaction` — so a hot user
+hammers their own home rows and population skew becomes key skew.
+
+Users think in *sessions*: a user arrives, issues a geometrically
+distributed number of requests from a session-private RNG, and leaves.
+Session RNGs are derived deterministically from (population seed, user,
+session ordinal), so the full request sequence is reproducible from the
+seed alone regardless of how arrivals interleave.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.util.zipf import ZipfSampler
+
+__all__ = ["Request", "UserPopulation"]
+
+# Knuth-style multiplicative hash used to decorrelate per-user streams.
+_MIX = 2654435761
+
+
+class Request:
+    """One intended arrival: who, when, and what transaction."""
+
+    __slots__ = ("user", "intended", "logic", "dispatched", "completed", "outcome")
+
+    def __init__(self, user: int, intended: float, logic: Callable) -> None:
+        self.user = user
+        self.intended = intended
+        self.logic = logic
+        self.dispatched: Optional[float] = None
+        self.completed: Optional[float] = None
+        self.outcome = None
+
+
+class _Session:
+    """Live session state for one user: remaining requests + RNG."""
+
+    __slots__ = ("remaining", "rng")
+
+    def __init__(self, remaining: int, rng: random.Random) -> None:
+        self.remaining = remaining
+        self.rng = rng
+
+
+class UserPopulation:
+    """Draws requests from a skewed population of session-based users."""
+
+    def __init__(
+        self,
+        workload,
+        users: int = 1000,
+        zipf_theta: float = 0.99,
+        session_length: float = 20.0,
+        seed: int = 0,
+    ) -> None:
+        if users <= 0:
+            raise ValueError(f"users must be positive, got {users}")
+        if session_length < 1:
+            raise ValueError(
+                f"session_length must be >= 1, got {session_length}"
+            )
+        self.workload = workload
+        self.users = users
+        self.session_length = session_length
+        self.seed = seed
+        self._who = ZipfSampler(users, zipf_theta, random.Random(seed ^ _MIX))
+        # user -> live session; sessions are created lazily on a user's
+        # first arrival and evicted when exhausted, so memory tracks the
+        # *active* population, not the configured one.
+        self._sessions: Dict[int, _Session] = {}
+        self._session_counts: Dict[int, int] = {}
+        self.sessions_started = 0
+
+    def _session_for(self, user: int) -> _Session:
+        session = self._sessions.get(user)
+        if session is None:
+            ordinal = self._session_counts.get(user, 0)
+            self._session_counts[user] = ordinal + 1
+            self.sessions_started += 1
+            rng = random.Random((self.seed << 32) ^ (user * _MIX) ^ ordinal)
+            # Geometric session length with the configured mean, min 1.
+            remaining = 1
+            while rng.random() * self.session_length > 1.0:
+                remaining += 1
+            session = self._sessions[user] = _Session(remaining, rng)
+        return session
+
+    def next_request(self, now: float) -> Request:
+        """The request intended at virtual time *now*."""
+        user = self._who.sample()
+        session = self._session_for(user)
+        logic = self.workload.user_transaction(user, session.rng)
+        session.remaining -= 1
+        if session.remaining <= 0:
+            del self._sessions[user]
+        return Request(user, now, logic)
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,198 @@
+"""Live SLO monitors and workload-level invariants under traffic.
+
+Two kinds of watcher ride along with an open-loop run:
+
+* :class:`SloMonitor` — a periodic simulated process that maintains
+  rolling-window latency/abort gauges (``load.win_p99_us``,
+  ``load.win_abort_rate``, ``load.queue_depth``, ``load.inflight``) in
+  a :class:`~repro.obs.metrics.MetricsRegistry`, counts SLO breaches
+  against optional targets, and emits an in-run progress line through a
+  caller-supplied callback (the CLI wires that to ``print``; the
+  engine itself never prints).
+
+* :class:`WorkloadInvariant` subclasses — semantic end-to-end checks
+  the chaos oracle cannot express because they live above the KV
+  layer: SmallBank money conservation and TPC-C per-district order-id
+  consistency. They observe commit acknowledgements as they happen and
+  re-verify against the final memory state after quiescence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, RollingWindow
+
+__all__ = [
+    "SloMonitor",
+    "WorkloadInvariant",
+    "ConservationMonitor",
+    "OrderIdMonitor",
+]
+
+
+class SloMonitor:
+    """Rolling-window latency/abort gauges with breach accounting."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        window: float = 2e-3,
+        interval: float = 1e-3,
+        p99_target: Optional[float] = None,
+        abort_rate_target: Optional[float] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.interval = interval
+        self.latency = RollingWindow(window)
+        self.outcomes = RollingWindow(window)
+        self.p99_target = p99_target
+        self.abort_rate_target = abort_rate_target
+        self.progress = progress
+        self.breaches: Dict[str, int] = {"latency": 0, "abort_rate": 0}
+        self.ticks = 0
+
+    def observe(self, now: float, co_latency: float, committed: bool) -> None:
+        """One completed request: CO-corrected latency + outcome."""
+        self.latency.add(now, co_latency)
+        self.outcomes.add(now, 0.0 if committed else 1.0)
+
+    def ticker(self, engine):
+        """The periodic gauge-refresh process (spawned by the engine)."""
+        sim = engine.sim
+        while True:
+            yield sim.timeout(self.interval)
+            now = sim.now
+            p99 = self.latency.percentile(now, 99)
+            abort_rate = self.outcomes.mean(now)
+            depth = len(engine._queue)
+            inflight = len(engine._busy)
+            self.registry.gauge("load.win_p99_us").set(p99 * 1e6)
+            self.registry.gauge("load.win_abort_rate").set(abort_rate)
+            self.registry.gauge("load.queue_depth").set(depth)
+            self.registry.gauge("load.inflight").set(inflight)
+            if self.p99_target is not None and p99 > self.p99_target:
+                self.breaches["latency"] += 1
+            if (
+                self.abort_rate_target is not None
+                and abort_rate > self.abort_rate_target
+            ):
+                self.breaches["abort_rate"] += 1
+            self.ticks += 1
+            if self.progress is not None:
+                self.progress(
+                    f"[load] t={now * 1e3:7.2f}ms inflight={inflight:3d} "
+                    f"queue={depth:4d} win_p99={p99 * 1e6:8.1f}us "
+                    f"win_abort={100 * abort_rate:5.1f}%"
+                )
+
+
+class WorkloadInvariant:
+    """Base class for workload-level oracle checks under traffic."""
+
+    def attach(self, cluster) -> None:
+        """Capture pre-traffic state (called before the cluster starts)."""
+
+    def on_commit(self, request, outcome, now: float) -> None:
+        """Observe one client-acknowledged commit."""
+
+    def check_final(self, cluster, strict: bool = True) -> List[str]:
+        """Verify the final state; ``strict`` means every outcome was
+        observed (no killed requests, no leftover backlog)."""
+        return []
+
+
+class ConservationMonitor(WorkloadInvariant):
+    """SmallBank money conservation: traffic moves balance, never mints it.
+
+    Requires a balance-neutral mix (``SmallBank(conserving_only=True)``)
+    — deposits obviously grow the total, so the default mix cannot be
+    checked this way.
+    """
+
+    def __init__(self, workload) -> None:
+        self.workload = workload
+        self._initial: Optional[int] = None
+
+    def attach(self, cluster) -> None:
+        self._initial = self.workload.total_balance(
+            cluster.catalog, cluster.memory_nodes
+        )
+
+    def check_final(self, cluster, strict: bool = True) -> List[str]:
+        if self._initial is None:
+            return ["LOAD-CONSERVE monitor was never attached"]
+        final = self.workload.total_balance(cluster.catalog, cluster.memory_nodes)
+        if final != self._initial:
+            return [
+                f"LOAD-CONSERVE total balance drifted "
+                f"{self._initial} -> {final} (delta {final - self._initial})"
+            ]
+        return []
+
+
+class OrderIdMonitor(WorkloadInvariant):
+    """TPC-C per-district order-id consistency.
+
+    Each committed new-order transaction atomically reads the district's
+    ``next_o_id`` under a write lock and increments it, so:
+
+    * no order id is ever allocated twice within a district (a
+      duplicate means a lost update on the counter), and
+    * the final counter equals 1 + the number of committed new-orders
+      for that district (checked only when every outcome was observed;
+      a killed request may have committed without us seeing the ack).
+
+    Commit-*ack* order is deliberately not required to be monotone: a
+    later allocation can overtake an earlier one between lock release
+    and client acknowledgement without any protocol violation.
+    """
+
+    def __init__(self, workload) -> None:
+        self.workload = workload
+        # (warehouse, district) -> set of committed order ids.
+        self._seen: Dict[Tuple[int, int], set] = {}
+        self.violations: List[str] = []
+
+    def on_commit(self, request, outcome, now: float) -> None:
+        value = outcome.value
+        if not isinstance(value, dict) or value.get("kind") != "new_order":
+            return
+        district = (value["w"], value["d"])
+        o_id = value["o_id"]
+        seen = self._seen.setdefault(district, set())
+        if o_id in seen:
+            self.violations.append(
+                f"LOAD-ORDER duplicate o_id {o_id} in district {district} "
+                f"at t={now * 1e3:.3f}ms (lost update on next_o_id)"
+            )
+        seen.add(o_id)
+
+    def check_final(self, cluster, strict: bool = True) -> List[str]:
+        from repro.workloads.tpcc import DISTRICTS_PER_WAREHOUSE, TABLE_DISTRICT
+
+        problems = list(self.violations)
+        catalog = cluster.catalog
+        for w in range(self.workload.warehouses):
+            for d in range(DISTRICTS_PER_WAREHOUSE):
+                slot = catalog.slot_for(TABLE_DISTRICT, (w, d))
+                primary = catalog.primary(TABLE_DISTRICT, slot)
+                entry = cluster.memory_nodes[primary].slot(TABLE_DISTRICT, slot)
+                if not entry.present:
+                    problems.append(f"LOAD-ORDER district {(w, d)} row missing")
+                    continue
+                next_o_id = entry.value["next_o_id"]
+                seen = self._seen.get((w, d), set())
+                over = [o_id for o_id in seen if o_id >= next_o_id]
+                if over:
+                    problems.append(
+                        f"LOAD-ORDER district {(w, d)} committed ids "
+                        f"{sorted(over)[:4]} >= final next_o_id {next_o_id}"
+                    )
+                if strict and next_o_id != 1 + len(seen):
+                    problems.append(
+                        f"LOAD-ORDER district {(w, d)} final next_o_id "
+                        f"{next_o_id} != 1 + {len(seen)} observed commits"
+                    )
+        return problems

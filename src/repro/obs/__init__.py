@@ -180,19 +180,25 @@ class Obs:
     verb (off by default — a steady run posts hundreds of thousands);
     ``flight=True`` attaches a per-transaction
     :class:`~repro.obs.flight.FlightRecorder` (verb-level attempt
-    accounting for the report layer).
+    accounting for the report layer); ``max_flights`` bounds its
+    resident record count for long/open-loop runs (oldest closed
+    attempts are evicted first).
     """
 
     enabled = True
 
     def __init__(
-        self, trace: bool = True, trace_verbs: bool = False, flight: bool = False
+        self,
+        trace: bool = True,
+        trace_verbs: bool = False,
+        flight: bool = False,
+        max_flights: Optional[int] = None,
     ) -> None:
         self.metrics = MetricsRegistry()
         self.tracer: Tracer = Tracer() if trace else NULL_TRACER  # type: ignore[assignment]
         self.trace_verbs = trace_verbs and trace
         self.flight: FlightRecorder = (  # type: ignore[assignment]
-            FlightRecorder() if flight else NULL_FLIGHT
+            FlightRecorder(max_flights=max_flights) if flight else NULL_FLIGHT
         )
         # Wall-clock kernel profiler; the cluster builder swaps in an
         # enabled KernelProfiler when the run is profiled.

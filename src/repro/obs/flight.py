@@ -159,18 +159,31 @@ class FlightAttempt:
 
 
 class FlightRecorder:
-    """Collects :class:`FlightAttempt` records via ambient focus."""
+    """Collects :class:`FlightAttempt` records via ambient focus.
+
+    ``max_flights`` bounds resident memory for long runs (the open-loop
+    load engine records millions of attempts otherwise): when set, the
+    oldest *closed* attempts are evicted as new ones begin, keeping at
+    most ``max_flights`` resident. Open (in-flight) attempts are never
+    evicted — a crash report must still see what was killed mid-air —
+    and ``evicted`` counts what was dropped so report totals can say
+    "of N attempts, M retained".
+    """
 
     enabled = True
 
-    __slots__ = ("attempts", "unattributed", "_current")
+    __slots__ = ("attempts", "unattributed", "max_flights", "evicted", "_current")
 
-    def __init__(self) -> None:
+    def __init__(self, max_flights: Optional[int] = None) -> None:
+        if max_flights is not None and max_flights < 1:
+            raise ValueError(f"max_flights must be >= 1, got {max_flights}")
         self.attempts: List[FlightAttempt] = []
         # Posts with no valid focus, counted per verb kind — nonzero
         # entries here are system traffic (recovery, registration),
         # not lost transaction verbs.
         self.unattributed: Dict[str, int] = {}
+        self.max_flights = max_flights
+        self.evicted = 0
         self._current: Optional[FlightAttempt] = None
 
     # -- attempt lifecycle (driven through TxnTrace) -------------------------
@@ -188,7 +201,20 @@ class FlightRecorder:
         record = FlightAttempt(protocol, node_id, coord_id, txn_id, attempt, now)
         self.attempts.append(record)
         self._current = record
+        if self.max_flights is not None and len(self.attempts) > self.max_flights:
+            self._evict_closed()
         return record
+
+    def _evict_closed(self) -> None:
+        """Drop oldest closed attempts until back within ``max_flights``."""
+        attempts = self.attempts
+        index = 0
+        while len(attempts) > self.max_flights and index < len(attempts):
+            if attempts[index].open:
+                index += 1
+                continue
+            del attempts[index]
+            self.evicted += 1
 
     def focus(self, record: Optional[FlightAttempt], phase: Optional[str] = None) -> None:
         """Re-assert ambient attribution after a scheduling point."""
@@ -302,6 +328,8 @@ class NullFlightRecorder:
     __slots__ = ()
     attempts: List[FlightAttempt] = []
     unattributed: Dict[str, int] = {}
+    max_flights: Optional[int] = None
+    evicted = 0
 
     def begin(self, protocol, node_id, coord_id, txn_id, attempt, now):
         return None

@@ -18,7 +18,8 @@ fixed-width text report the CLI prints under ``--metrics``).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.util.stats import Histogram
 
@@ -32,6 +33,7 @@ __all__ = [
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "RollingWindow",
 ]
 
 # (metric name, ((label key, label value), ...)) — the registry key.
@@ -104,6 +106,59 @@ class NullHistogram:
 NULL_COUNTER = NullCounter()
 NULL_GAUGE = NullGauge()
 NULL_HISTOGRAM = NullHistogram()
+
+
+class RollingWindow:
+    """A time-bounded sample buffer for live gauges.
+
+    Unlike :class:`~repro.util.stats.Histogram` (which accumulates for
+    the whole run), a rolling window answers "what is the p99 *right
+    now*": samples older than ``window`` seconds are evicted on every
+    query, so the SLO monitors see the current regime, not the average
+    of everything since warmup. Windows hold at most a few thousand
+    samples in practice, so exact percentiles by sorting are fine.
+    """
+
+    __slots__ = ("window", "_samples")
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def add(self, now: float, value: float) -> None:
+        """Record *value* observed at virtual time *now*."""
+        self._samples.append((now, value))
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+    def count(self, now: float) -> int:
+        """Samples currently inside the window."""
+        self._evict(now)
+        return len(self._samples)
+
+    def mean(self, now: float) -> float:
+        """Mean of the in-window samples (0.0 when empty)."""
+        self._evict(now)
+        if not self._samples:
+            return 0.0
+        return sum(value for _t, value in self._samples) / len(self._samples)
+
+    def percentile(self, now: float, pct: float) -> float:
+        """Exact in-window percentile (0.0 when empty)."""
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile out of range: {pct}")
+        self._evict(now)
+        if not self._samples:
+            return 0.0
+        ordered = sorted(value for _t, value in self._samples)
+        index = min(len(ordered) - 1, int(len(ordered) * pct / 100.0))
+        return ordered[index]
 
 
 def _key(name: str, labels: Dict[str, Any]) -> MetricKey:

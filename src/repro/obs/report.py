@@ -46,6 +46,8 @@ __all__ = [
     "redetection_counts",
     "render_terminal",
     "render_html",
+    "render_load_html",
+    "compare_snapshots",
     "print_report",
     "ABORT_CATEGORIES",
 ]
@@ -650,3 +652,249 @@ def render_html(runs: Sequence[RunData], title: str = "Transaction flight report
 def print_report(runs: Sequence[RunData]) -> None:
     """Print the terminal report (simlint-allowlisted output site)."""
     print(render_terminal(runs))
+
+
+# -- snapshot deltas (repro obs-report --compare A.json B.json) --------------
+
+
+def _delta_cell(before: Any, after: Any) -> str:
+    try:
+        before_f, after_f = float(before), float(after)
+    except (TypeError, ValueError):
+        return ""
+    if before_f == 0.0:
+        return "n/a" if after_f else "0%"
+    return f"{100.0 * (after_f - before_f) / before_f:+.1f}%"
+
+
+def compare_snapshots(
+    before: Dict[str, Any],
+    after: Dict[str, Any],
+    label_before: str = "A",
+    label_after: str = "B",
+) -> str:
+    """Delta table between two ``BENCH_*.json`` payloads.
+
+    Understands both snapshot shapes: load sweeps (``curves`` keyed by
+    protocol, one row per offered point) and steady-state payloads
+    (flat ``throughput_tps``/latency keys, one row per metric). The
+    delta column is relative to *before*.
+    """
+    headers = ["metric", label_before, label_after, "delta"]
+    rows: List[Tuple[Any, ...]] = []
+    if "curves" in before or "curves" in after:
+        metrics = (
+            ("achieved_tps", "achieved"),
+            ("co_p50_us", "co p50 (us)"),
+            ("co_p99_us", "co p99 (us)"),
+            ("abort_rate", "abort rate"),
+            ("commits", "commits"),
+        )
+        before_curves = before.get("curves", {})
+        after_curves = after.get("curves", {})
+        for protocol in sorted(set(before_curves) | set(after_curves)):
+            before_points = {
+                point["offered_tps"]: point
+                for point in before_curves.get(protocol, {}).get("points", [])
+            }
+            after_points = {
+                point["offered_tps"]: point
+                for point in after_curves.get(protocol, {}).get("points", [])
+            }
+            for offered in sorted(set(before_points) | set(after_points)):
+                b = before_points.get(offered, {})
+                a = after_points.get(offered, {})
+                for key, label in metrics:
+                    rows.append(
+                        (
+                            f"{protocol} @ {offered:,.0f} {label}",
+                            b.get(key, "-"),
+                            a.get(key, "-"),
+                            _delta_cell(b.get(key), a.get(key)),
+                        )
+                    )
+        return render_rows(headers, rows, title="load snapshot delta")
+    metrics = (
+        ("throughput_tps", "throughput (tps)"),
+        ("p50_latency_us", "p50 (us)"),
+        ("p99_latency_us", "p99 (us)"),
+        ("abort_rate", "abort rate"),
+        ("commits", "commits"),
+        ("aborts", "aborts"),
+    )
+    for key, label in metrics:
+        if key not in before and key not in after:
+            continue
+        rows.append(
+            (
+                label,
+                before.get(key, "-"),
+                after.get(key, "-"),
+                _delta_cell(before.get(key), after.get(key)),
+            )
+        )
+    return render_rows(headers, rows, title="bench snapshot delta")
+
+
+# -- load-curve rendering (repro load --html) --------------------------------
+
+_CURVE_COLORS = ("#4c6ef5", "#e8590c", "#2b8a3e", "#ae3ec9", "#e03131")
+
+
+def _svg_curve_plot(
+    title: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    y_label: str,
+    width: int = 460,
+    height: int = 260,
+    reference_diagonal: bool = False,
+) -> str:
+    """Inline-SVG scatter+line plot of per-protocol (x, y) series."""
+    pad = 46
+    points = [pt for pts in series.values() for pt in pts]
+    if not points:
+        return ""
+    x_max = max(x for x, _y in points) or 1.0
+    y_max = max(y for _x, y in points) or 1.0
+    if reference_diagonal:
+        y_max = max(y_max, x_max)
+
+    def sx(x: float) -> float:
+        return pad + (width - 2 * pad) * x / x_max
+
+    def sy(y: float) -> float:
+        return height - pad - (height - 2 * pad) * y / y_max
+
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        'xmlns="http://www.w3.org/2000/svg" style="background:#fafafc">',
+        f'<text x="{width / 2}" y="16" text-anchor="middle" '
+        f'font-size="13" font-weight="600">{_html_escape(title)}</text>',
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="#888"/>',
+        f'<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{height - pad}" '
+        'stroke="#888"/>',
+        f'<text x="{width / 2}" y="{height - 8}" text-anchor="middle" '
+        'font-size="11" fill="#555">offered (tps)</text>',
+        f'<text x="14" y="{height / 2}" font-size="11" fill="#555" '
+        f'transform="rotate(-90 14 {height / 2})" text-anchor="middle">'
+        f"{_html_escape(y_label)}</text>",
+        f'<text x="{pad}" y="{height - pad + 14}" font-size="10" '
+        'fill="#555">0</text>',
+        f'<text x="{width - pad}" y="{height - pad + 14}" font-size="10" '
+        f'fill="#555" text-anchor="end">{x_max:,.0f}</text>',
+        f'<text x="{pad - 4}" y="{pad}" font-size="10" fill="#555" '
+        f'text-anchor="end">{y_max:,.0f}</text>',
+    ]
+    if reference_diagonal:
+        parts.append(
+            f'<line x1="{sx(0)}" y1="{sy(0)}" x2="{sx(x_max)}" '
+            f'y2="{sy(x_max)}" stroke="#bbb" stroke-dasharray="4 3"/>'
+        )
+    for index, (name, pts) in enumerate(sorted(series.items())):
+        color = _CURVE_COLORS[index % len(_CURVE_COLORS)]
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{sx(x):.1f},{sy(y):.1f}"
+            for i, (x, y) in enumerate(sorted(pts))
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{width - pad + 4}" y="{pad + 14 * index}" '
+            f'font-size="11" fill="{color}">{_html_escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_load_html(
+    payload: Dict[str, Any], title: str = "Open-loop load curves"
+) -> str:
+    """Self-contained HTML for a ``BENCH_LOAD.json``-style payload.
+
+    Two SVG plots (achieved-vs-offered with the x=y reference line, and
+    CO-corrected p99 vs offered) plus one point table per protocol.
+    """
+    curves = payload.get("curves", {})
+    achieved: Dict[str, List[Tuple[float, float]]] = {}
+    p99s: Dict[str, List[Tuple[float, float]]] = {}
+    for protocol, curve in curves.items():
+        for point in curve.get("points", []):
+            achieved.setdefault(protocol, []).append(
+                (point["offered_tps"], point["achieved_tps"])
+            )
+            p99s.setdefault(protocol, []).append(
+                (point["offered_tps"], point["co_p99_us"])
+            )
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{_html_escape(title)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>{_html_escape(title)}</h1>",
+        '<p class="meta">'
+        f"workload={_html_escape(payload.get('workload', '?'))} "
+        f"arrivals={_html_escape(payload.get('arrivals', '?'))} "
+        "latency is CO-corrected: measured from intended arrival time, "
+        "queue wait included; censored in-flight/queued requests count "
+        "at their age.</p>",
+        _svg_curve_plot(
+            "achieved vs offered load", achieved, "achieved (tps)",
+            reference_diagonal=True,
+        ),
+        _svg_curve_plot("CO-corrected p99 vs offered load", p99s, "p99 (us)"),
+    ]
+    for protocol, curve in sorted(curves.items()):
+        knee = curve.get("knee_offered_tps")
+        knee_text = f"{knee:,.0f} tps" if knee else "not reached"
+        parts.append(
+            f"<h2>{_html_escape(protocol)} "
+            f'<span class="meta">(knee: {knee_text})</span></h2>'
+        )
+        rows = []
+        for point in curve.get("points", []):
+            rows.append(
+                (
+                    point["offered_tps"],
+                    point["achieved_tps"],
+                    point["co_p50_us"],
+                    point["co_p99_us"],
+                    point["co_p999_us"],
+                    f"{100 * point['abort_rate']:.1f}%",
+                    point["queue_depth_mean"],
+                    point["backlog_end"],
+                    "OK" if not point.get("violations") else
+                    f"FAIL ({len(point['violations'])})",
+                )
+            )
+        parts.append(
+            _html_table(
+                [
+                    "offered", "achieved", "co p50 (us)", "co p99 (us)",
+                    "co p99.9 (us)", "abort", "queue mean", "backlog",
+                    "oracle",
+                ],
+                rows,
+            )
+        )
+        violations = [
+            violation
+            for point in curve.get("points", [])
+            for violation in point.get("violations", [])
+        ]
+        if violations:
+            parts.append(
+                "<ul>"
+                + "".join(
+                    f"<li class='fail'>{_html_escape(v)}</li>"
+                    for v in violations[:20]
+                )
+                + "</ul>"
+            )
+    parts.append("</body></html>")
+    return "".join(parts)

@@ -33,6 +33,18 @@ class Workload:
         """Produce the logic callable of the next transaction."""
         raise NotImplementedError
 
+    def user_transaction(self, user: int, rng: random.Random) -> Callable:
+        """Produce the next transaction issued *by user*.
+
+        The open-loop traffic engine (:mod:`repro.load`) draws users
+        from a skewed population and asks the workload for that user's
+        next request, so hot users create hot keys. Subclasses pin the
+        transaction's primary key(s) to the user's home rows; the
+        default ignores identity and falls back to the closed-loop
+        generator.
+        """
+        return self.next_transaction(rng)
+
     # -- helpers -------------------------------------------------------------
 
     @staticmethod

@@ -93,14 +93,16 @@ class SmallBank(Workload):
 
     # -- transactions -------------------------------------------------------------
 
-    def _account(self, rng: random.Random) -> int:
-        return rng.randrange(self.hot_accounts)
+    def _account(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> int:
+        return home if home is not None else rng.randrange(self.hot_accounts)
 
-    def _two_accounts(self, rng: random.Random):
-        first = self._account(rng)
-        second = self._account(rng)
+    def _two_accounts(self, rng: random.Random, home: Optional[int] = None):
+        first = self._account(rng, home)
+        second = rng.randrange(self.hot_accounts)
         while second == first:
-            second = self._account(rng)
+            second = rng.randrange(self.hot_accounts)
         return first, second
 
     def next_transaction(self, rng: random.Random) -> Callable:
@@ -108,8 +110,18 @@ class SmallBank(Workload):
         builder = getattr(self, f"_txn_{kind}")
         return builder(rng)
 
-    def _txn_transact_savings(self, rng: random.Random) -> Callable:
-        account = self._account(rng)
+    def user_transaction(self, user: int, rng: random.Random) -> Callable:
+        """One transaction on behalf of *user*: the primary account is
+        the user's home account, so a skewed user population produces
+        the matching skewed key-access pattern."""
+        kind = self.pick(rng, self.mix)
+        builder = getattr(self, f"_txn_{kind}")
+        return builder(rng, home=user % self.hot_accounts)
+
+    def _txn_transact_savings(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        account = self._account(rng, home)
         amount = rng.randint(1, 100)
 
         def logic(tx):
@@ -119,8 +131,10 @@ class SmallBank(Workload):
 
         return logic
 
-    def _txn_deposit_checking(self, rng: random.Random) -> Callable:
-        account = self._account(rng)
+    def _txn_deposit_checking(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        account = self._account(rng, home)
         amount = rng.randint(1, 100)
 
         def logic(tx):
@@ -130,8 +144,10 @@ class SmallBank(Workload):
 
         return logic
 
-    def _txn_send_payment(self, rng: random.Random) -> Callable:
-        sender, receiver = self._two_accounts(rng)
+    def _txn_send_payment(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        sender, receiver = self._two_accounts(rng, home)
         amount = rng.randint(1, 50)
 
         def logic(tx):
@@ -145,8 +161,10 @@ class SmallBank(Workload):
 
         return logic
 
-    def _txn_write_check(self, rng: random.Random) -> Callable:
-        account = self._account(rng)
+    def _txn_write_check(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        account = self._account(rng, home)
         amount = rng.randint(1, 50)
 
         def logic(tx):
@@ -158,8 +176,10 @@ class SmallBank(Workload):
 
         return logic
 
-    def _txn_amalgamate(self, rng: random.Random) -> Callable:
-        source, destination = self._two_accounts(rng)
+    def _txn_amalgamate(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        source, destination = self._two_accounts(rng, home)
 
         def logic(tx):
             savings = yield from tx.read_for_update("savings", source)
@@ -173,8 +193,10 @@ class SmallBank(Workload):
 
         return logic
 
-    def _txn_balance(self, rng: random.Random) -> Callable:
-        account = self._account(rng)
+    def _txn_balance(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        account = self._account(rng, home)
 
         def logic(tx):
             savings = yield from tx.read("savings", account)

@@ -107,16 +107,28 @@ class Tatp(Workload):
 
     # -- transactions -------------------------------------------------------------
 
-    def _subscriber(self, rng: random.Random) -> int:
-        return rng.randrange(self.subscribers)
+    def _subscriber(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> int:
+        return home if home is not None else rng.randrange(self.subscribers)
 
     def next_transaction(self, rng: random.Random) -> Callable:
         kind = self.pick(rng, self.mix)
         builder = getattr(self, f"_txn_{kind}")
         return builder(rng)
 
-    def _txn_get_subscriber_data(self, rng: random.Random) -> Callable:
-        sid = self._subscriber(rng)
+    def user_transaction(self, user: int, rng: random.Random) -> Callable:
+        """One transaction on behalf of *user*: every profile keys off
+        the subscriber id, so the user's home subscriber carries the
+        population's skew straight into the key space."""
+        kind = self.pick(rng, self.mix)
+        builder = getattr(self, f"_txn_{kind}")
+        return builder(rng, home=user % self.subscribers)
+
+    def _txn_get_subscriber_data(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        sid = self._subscriber(rng, home)
 
         def logic(tx):
             row = yield from tx.read("subscriber", sid)
@@ -124,8 +136,10 @@ class Tatp(Workload):
 
         return logic
 
-    def _txn_get_new_destination(self, rng: random.Random) -> Callable:
-        sid = self._subscriber(rng)
+    def _txn_get_new_destination(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        sid = self._subscriber(rng, home)
         sf_type = rng.choice(SF_TYPES)
         hour = rng.choice(START_HOURS)
 
@@ -138,8 +152,10 @@ class Tatp(Workload):
 
         return logic
 
-    def _txn_get_access_data(self, rng: random.Random) -> Callable:
-        sid = self._subscriber(rng)
+    def _txn_get_access_data(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        sid = self._subscriber(rng, home)
         ai_type = rng.choice(SF_TYPES)
 
         def logic(tx):
@@ -148,8 +164,10 @@ class Tatp(Workload):
 
         return logic
 
-    def _txn_update_subscriber_data(self, rng: random.Random) -> Callable:
-        sid = self._subscriber(rng)
+    def _txn_update_subscriber_data(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        sid = self._subscriber(rng, home)
         sf_type = rng.choice(SF_TYPES)
         new_bits = rng.getrandbits(10)
 
@@ -169,8 +187,10 @@ class Tatp(Workload):
 
         return logic
 
-    def _txn_update_location(self, rng: random.Random) -> Callable:
-        sid = self._subscriber(rng)
+    def _txn_update_location(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        sid = self._subscriber(rng, home)
         location = rng.getrandbits(32)
 
         def logic(tx):
@@ -182,8 +202,10 @@ class Tatp(Workload):
 
         return logic
 
-    def _txn_insert_call_forwarding(self, rng: random.Random) -> Callable:
-        sid = self._subscriber(rng)
+    def _txn_insert_call_forwarding(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        sid = self._subscriber(rng, home)
         sf_type = rng.choice(SF_TYPES)
         hour = rng.choice(START_HOURS)
         number = rng.getrandbits(32)
@@ -200,8 +222,10 @@ class Tatp(Workload):
 
         return logic
 
-    def _txn_delete_call_forwarding(self, rng: random.Random) -> Callable:
-        sid = self._subscriber(rng)
+    def _txn_delete_call_forwarding(
+        self, rng: random.Random, home: Optional[int] = None
+    ) -> Callable:
+        sid = self._subscriber(rng, home)
         sf_type = rng.choice(SF_TYPES)
         hour = rng.choice(START_HOURS)
 

@@ -165,15 +165,33 @@ class TpcC(Workload):
 
     # -- transactions ------------------------------------------------------------------
 
+    def _home(self, user: int):
+        """Map a population user id onto (warehouse, district, customer).
+
+        Consecutive users share a district, so a Zipf-skewed population
+        concentrates traffic on a few hot districts — exactly the
+        contention the district ``next_o_id`` counter serializes.
+        """
+        customer = user % self.customers_per_district
+        district_index = (user // self.customers_per_district) % self.districts
+        warehouse = district_index // DISTRICTS_PER_WAREHOUSE
+        district = district_index % DISTRICTS_PER_WAREHOUSE
+        return warehouse, district, customer
+
     def next_transaction(self, rng: random.Random) -> Callable:
         kind = self.pick(rng, self.mix)
         builder = getattr(self, f"_txn_{kind}")
         return builder(rng)
 
-    def _txn_new_order(self, rng: random.Random) -> Callable:
-        w = self._warehouse(rng)
-        d = self._district(rng)
-        c = self._customer(rng)
+    def user_transaction(self, user: int, rng: random.Random) -> Callable:
+        kind = self.pick(rng, self.mix)
+        builder = getattr(self, f"_txn_{kind}")
+        return builder(rng, home=self._home(user))
+
+    def _txn_new_order(self, rng: random.Random, home=None) -> Callable:
+        w, d, c = home if home is not None else (
+            self._warehouse(rng), self._district(rng), self._customer(rng)
+        )
         line_count = rng.randint(5, self.max_order_lines)
         lines = []
         for _ in range(line_count):
@@ -225,14 +243,16 @@ class TpcC(Workload):
                 {"o_id": o_id, "customer": c, "lines": len(lines), "carrier": None},
             )
             tx.write("new_order", self._order_slot_key(w, d, o_id), {"o_id": o_id})
-            return taxed
+            # The allocated order id travels in the result so workload-
+            # level monitors can check per-district id consistency.
+            return {"kind": "new_order", "w": w, "d": d, "o_id": o_id, "total": taxed}
 
         return logic
 
-    def _txn_payment(self, rng: random.Random) -> Callable:
-        w = self._warehouse(rng)
-        d = self._district(rng)
-        c = self._customer(rng)
+    def _txn_payment(self, rng: random.Random, home=None) -> Callable:
+        w, d, c = home if home is not None else (
+            self._warehouse(rng), self._district(rng), self._customer(rng)
+        )
         # 15% of payments come through a remote warehouse's customer.
         customer_w, customer_d = w, d
         if self.warehouses > 1 and rng.random() < 0.15:
@@ -269,9 +289,10 @@ class TpcC(Workload):
 
         return logic
 
-    def _txn_order_status(self, rng: random.Random) -> Callable:
-        w = self._warehouse(rng)
-        d = self._district(rng)
+    def _txn_order_status(self, rng: random.Random, home=None) -> Callable:
+        w, d = home[:2] if home is not None else (
+            self._warehouse(rng), self._district(rng)
+        )
         o_guess = rng.randrange(self.order_capacity)
 
         def logic(tx):
@@ -284,9 +305,10 @@ class TpcC(Workload):
 
         return logic
 
-    def _txn_delivery(self, rng: random.Random) -> Callable:
-        w = self._warehouse(rng)
-        d = self._district(rng)
+    def _txn_delivery(self, rng: random.Random, home=None) -> Callable:
+        w, d = home[:2] if home is not None else (
+            self._warehouse(rng), self._district(rng)
+        )
         o_guess = rng.randrange(self.order_capacity)
         carrier = rng.randint(1, 10)
 
@@ -316,9 +338,10 @@ class TpcC(Workload):
 
         return logic
 
-    def _txn_stock_level(self, rng: random.Random) -> Callable:
-        w = self._warehouse(rng)
-        d = self._district(rng)
+    def _txn_stock_level(self, rng: random.Random, home=None) -> Callable:
+        w, d = home[:2] if home is not None else (
+            self._warehouse(rng), self._district(rng)
+        )
         threshold = rng.randint(10, 20)
         probe_items = [rng.randrange(self.items) for _ in range(10)]
 

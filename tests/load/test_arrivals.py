@@ -1,0 +1,129 @@
+"""Arrival processes: rate accuracy, shape, and determinism.
+
+Every process is parameterised by the *mean* offered rate, so the
+first thing each shape test pins down is that the long-run average
+matches — a bursty or diurnal process that quietly offers a different
+rate would make sweep points incomparable across --arrivals choices.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.load.arrivals import (
+    ARRIVAL_KINDS,
+    DiurnalArrivals,
+    MmppArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+
+RATE = 50_000.0
+START = 1.0
+WINDOW = 0.2
+
+
+def _collect(process, rate=RATE, start=START, end=START + WINDOW, seed=3):
+    return list(process.times(rate, start, end, random.Random(seed)))
+
+
+def _bin_counts(times, start=START, end=START + WINDOW, bins=200):
+    width = (end - start) / bins
+    counts = [0] * bins
+    for t in times:
+        counts[min(bins - 1, int((t - start) / width))] += 1
+    return counts
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "process", [PoissonArrivals(), MmppArrivals(), DiurnalArrivals()]
+    )
+    def test_mean_rate_matches_offered(self, process):
+        times = _collect(process)
+        expected = RATE * WINDOW
+        assert abs(len(times) - expected) < 0.10 * expected
+
+    @pytest.mark.parametrize(
+        "process", [PoissonArrivals(), MmppArrivals(), DiurnalArrivals()]
+    )
+    def test_times_strictly_increasing_within_window(self, process):
+        times = _collect(process)
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert times[0] >= START
+        assert times[-1] < START + WINDOW
+
+    @pytest.mark.parametrize(
+        "process", [PoissonArrivals(), MmppArrivals(), DiurnalArrivals()]
+    )
+    def test_deterministic_under_seed(self, process):
+        assert _collect(process, seed=9) == _collect(process, seed=9)
+        assert _collect(process, seed=9) != _collect(process, seed=10)
+
+    def test_mmpp_is_overdispersed_vs_poisson(self):
+        # Index of dispersion (var/mean of per-bin counts) is ~1 for a
+        # Poisson stream; phase switching pushes the MMPP's well above.
+        poisson_counts = _bin_counts(_collect(PoissonArrivals()))
+        bursty_counts = _bin_counts(_collect(MmppArrivals(burst_factor=1.9)))
+
+        def dispersion(counts):
+            mean = sum(counts) / len(counts)
+            var = sum((c - mean) ** 2 for c in counts) / len(counts)
+            return var / mean
+
+        assert dispersion(poisson_counts) < 1.5
+        assert dispersion(bursty_counts) > 1.5
+
+    def test_diurnal_peaks_mid_window(self):
+        # periods=1 puts the trough at the edges and the peak at the
+        # middle; peak_to_trough=4 means a 4x count ratio in the limit.
+        counts = _bin_counts(_collect(DiurnalArrivals(peak_to_trough=4.0)), bins=5)
+        assert counts[2] > 2.0 * counts[0]
+        assert counts[2] > 2.0 * counts[4]
+
+    def test_diurnal_rate_at_averages_to_rate(self):
+        process = DiurnalArrivals(peak_to_trough=4.0, periods=2.0)
+        samples = 10_000
+        mean = (
+            sum(process.rate_at(RATE, i / samples) for i in range(samples)) / samples
+        )
+        assert math.isclose(mean, RATE, rel_tol=1e-3)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "process", [PoissonArrivals(), MmppArrivals(), DiurnalArrivals()]
+    )
+    def test_rejects_bad_rate_and_window(self, process):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            next(process.times(0.0, 0.0, 1.0, rng))
+        with pytest.raises(ValueError):
+            next(process.times(100.0, 1.0, 1.0, rng))
+
+    def test_mmpp_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            MmppArrivals(burst_factor=2.0)
+        with pytest.raises(ValueError):
+            MmppArrivals(burst_factor=1.0)
+        with pytest.raises(ValueError):
+            MmppArrivals(dwell=0.0)
+
+    def test_diurnal_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(peak_to_trough=0.5)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(periods=0.0)
+
+
+class TestRegistry:
+    def test_make_arrivals_covers_every_kind(self):
+        for kind, cls in ARRIVAL_KINDS.items():
+            process = make_arrivals(kind)
+            assert isinstance(process, cls)
+            assert process.name == kind
+
+    def test_make_arrivals_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            make_arrivals("lunar")

@@ -1,0 +1,78 @@
+"""Open-loop engine invariants: CO accounting, saturation, determinism.
+
+The coordinated-omission guard is the core property: every *intended*
+arrival in the measured window must end up in exactly one bucket —
+completed, unknown (killed mid-flight), or censored (still queued or
+in flight at the drain deadline) — and the CO histogram must hold one
+sample for each completed-or-censored request. Losing requests under
+saturation is precisely the accounting error CO correction exists to
+prevent.
+"""
+
+from repro.load import run_load_point
+from repro.workloads import SmallBank
+
+
+def _smallbank():
+    return SmallBank(accounts=1_000, hot_accounts=200)
+
+
+def _point(offered, duration=5e-3, **kwargs):
+    return run_load_point(
+        "pandora",
+        _smallbank,
+        offered,
+        duration=duration,
+        warmup=1e-3,
+        users=64,
+        coordinators_per_node=8,
+        **kwargs,
+    )
+
+
+class TestAccounting:
+    def test_every_intended_request_is_accounted_exactly_once(self):
+        # Far past the knee: the queue grows without bound, so the run
+        # ends with censored requests — the case that loses samples in
+        # a naive harness.
+        result = _point(offered=2_000_000.0)
+        assert result.intended > 0
+        assert result.intended == result.completed + result.unknown + result.censored
+        assert result.completed == result.commits + result.aborts
+        assert result.co.stats.count == result.completed + result.censored
+        assert result.service.stats.count == result.completed
+
+    def test_saturation_is_visible(self):
+        result = _point(offered=2_000_000.0)
+        assert result.achieved_tps < 0.9 * result.offered
+        assert result.censored + result.backlog_end > 0
+        assert result.queue_depth_peak > 0
+        # Queueing delay inflates CO latency above pure service time.
+        assert result.co.percentile(99) > result.service.percentile(99)
+
+    def test_light_load_keeps_up(self):
+        result = _point(offered=150_000.0)
+        assert result.intended == result.completed + result.unknown + result.censored
+        assert result.achieved_tps > 0.7 * result.offered
+        assert result.backlog_end <= 2
+
+    def test_summary_is_json_shaped(self):
+        summary = _point(offered=150_000.0, duration=3e-3).summary()
+        for key in (
+            "offered_tps",
+            "achieved_tps",
+            "commits",
+            "censored",
+            "co_p99_us",
+            "service_p99_us",
+            "queue_depth_peak",
+            "backlog_end",
+        ):
+            assert key in summary
+
+
+class TestDeterminism:
+    def test_same_seed_same_point(self):
+        first = _point(offered=300_000.0).summary()
+        second = _point(offered=300_000.0).summary()
+        assert first == second

@@ -1,0 +1,71 @@
+"""Consistency oracles under open-loop traffic with a mid-run crash.
+
+The load observatory's claim is that it can *catch protocol bugs while
+traffic is live*, not just draw latency curves. FORD-style logging
+(committed data reachable only through coordinator-private logs) leaves
+orphan log records when a compute node dies and is replaced, and the
+chaos oracle flags them; Pandora's recovery path cleans them up. The
+same schedule must therefore fire for ford and stay clean for pandora
+— a one-sided check would also pass for an oracle that never fires.
+"""
+
+from repro.load import ConservationMonitor, OrderIdMonitor, run_load_point
+from repro.workloads import SmallBank, TpcC
+
+
+def _conserving_smallbank():
+    return SmallBank(accounts=1_000, hot_accounts=200, conserving_only=True)
+
+
+def _crash_point(protocol):
+    return run_load_point(
+        protocol,
+        _conserving_smallbank,
+        400_000.0,
+        duration=14e-3,
+        warmup=2e-3,
+        users=64,
+        check_oracle=True,
+        crash_compute=[(0, 6e-3)],
+        restart_failed_after=2e-3,
+        monitor_factory=lambda workload: [ConservationMonitor(workload)],
+    )
+
+
+class TestOracleUnderLoad:
+    def test_ford_crash_leaves_oracle_violations(self):
+        result = _crash_point("ford")
+        assert result.violations
+        assert any("CHAOS-" in violation for violation in result.violations)
+
+    def test_pandora_same_schedule_is_clean(self):
+        result = _crash_point("pandora")
+        assert result.violations == []
+        assert result.commits > 0
+
+    def test_conservation_monitor_holds_without_faults(self):
+        result = run_load_point(
+            "pandora",
+            _conserving_smallbank,
+            200_000.0,
+            duration=5e-3,
+            warmup=1e-3,
+            users=64,
+            check_oracle=True,
+            monitor_factory=lambda workload: [ConservationMonitor(workload)],
+        )
+        assert result.violations == []
+        assert result.commits > 0
+
+    def test_order_id_monitor_holds_under_tpcc_traffic(self):
+        result = run_load_point(
+            "pandora",
+            lambda: TpcC(warehouses=1, customers_per_district=30, items=200),
+            60_000.0,
+            duration=5e-3,
+            warmup=1e-3,
+            users=32,
+            monitor_factory=lambda workload: [OrderIdMonitor(workload)],
+        )
+        assert result.violations == []
+        assert result.commits > 0

@@ -1,0 +1,69 @@
+"""User population: skew, sessions, and seed determinism."""
+
+import pytest
+
+from repro.load.population import UserPopulation
+from repro.workloads import SmallBank
+
+
+def _population(seed=0, users=100, theta=0.99, session_length=5.0):
+    return UserPopulation(
+        SmallBank(accounts=200),
+        users=users,
+        zipf_theta=theta,
+        session_length=session_length,
+        seed=seed,
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_request_stream(self):
+        a, b = _population(seed=7), _population(seed=7)
+        users_a = [a.next_request(i * 1e-5).user for i in range(300)]
+        users_b = [b.next_request(i * 1e-5).user for i in range(300)]
+        assert users_a == users_b
+        assert a.sessions_started == b.sessions_started
+        assert a.active_sessions == b.active_sessions
+
+    def test_different_seed_different_stream(self):
+        a, b = _population(seed=7), _population(seed=8)
+        users_a = [a.next_request(0.0).user for _ in range(300)]
+        users_b = [b.next_request(0.0).user for _ in range(300)]
+        assert users_a != users_b
+
+
+class TestSkewAndSessions:
+    def test_zipf_skew_concentrates_on_hot_users(self):
+        population = _population(users=100, theta=0.99)
+        counts = {}
+        for _ in range(5_000):
+            user = population.next_request(0.0).user
+            counts[user] = counts.get(user, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        median = ordered[len(ordered) // 2]
+        assert ordered[0] > 5 * max(1, median)
+
+    def test_sessions_are_evicted_when_exhausted(self):
+        # session_length=1 forces most sessions to be a single request,
+        # so active session state stays tiny while ordinals advance.
+        population = _population(users=10, session_length=1.0)
+        for _ in range(200):
+            population.next_request(0.0)
+        assert population.active_sessions <= 10
+        assert population.sessions_started > 100
+
+    def test_request_carries_intended_time(self):
+        population = _population()
+        request = population.next_request(0.0425)
+        assert request.intended == 0.0425
+        assert request.dispatched is None
+        assert request.completed is None
+        assert callable(request.logic)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            _population(users=0)
+        with pytest.raises(ValueError):
+            _population(session_length=0.5)

@@ -1,0 +1,158 @@
+"""SLO monitor and workload invariants: unit-level behaviour.
+
+The ticker is a plain generator over ``sim.timeout``, so these tests
+drive it with a stub simulator — no cluster needed — and the invariant
+monitors are fed synthetic commit acknowledgements.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.load import ConservationMonitor, OrderIdMonitor, SloMonitor
+
+
+class _StubSim:
+    def __init__(self):
+        self.now = 0.0
+
+    def timeout(self, delay):
+        # The stub advances time eagerly; the generator's yield value
+        # is never inspected by the ticker.
+        self.now += delay
+        return delay
+
+
+class _StubEngine:
+    def __init__(self):
+        self.sim = _StubSim()
+        self._queue = [1, 2, 3]
+        self._busy = {1: None}
+
+
+def _start(slo, engine):
+    """Prime the ticker to its first yield (the pending timeout)."""
+    generator = slo.ticker(engine)
+    next(generator)
+    return generator
+
+
+def _tick(generator):
+    """Fire the pending timeout: runs one tick body, stops at the next."""
+    next(generator)
+
+
+class TestSloMonitor:
+    def test_gauges_follow_the_rolling_window(self):
+        slo = SloMonitor(window=1.0, interval=1e-3)
+        engine = _StubEngine()
+        slo.observe(0.0, 10e-6, committed=True)
+        slo.observe(0.0, 90e-6, committed=False)
+        ticker = _start(slo, engine)
+        _tick(ticker)
+        assert slo.ticks == 1
+        assert slo.registry.gauge("load.win_p99_us").value == pytest.approx(90.0)
+        assert slo.registry.gauge("load.win_abort_rate").value == 0.5
+        assert slo.registry.gauge("load.queue_depth").value == 3
+        assert slo.registry.gauge("load.inflight").value == 1
+
+    def test_breaches_counted_against_targets(self):
+        slo = SloMonitor(
+            window=1.0, interval=1e-3, p99_target=50e-6, abort_rate_target=0.25
+        )
+        engine = _StubEngine()
+        slo.observe(0.0, 90e-6, committed=False)
+        ticker = _start(slo, engine)
+        _tick(ticker)
+        _tick(ticker)
+        assert slo.breaches == {"latency": 2, "abort_rate": 2}
+
+    def test_no_breach_when_within_targets(self):
+        slo = SloMonitor(
+            window=1.0, interval=1e-3, p99_target=50e-6, abort_rate_target=0.25
+        )
+        engine = _StubEngine()
+        slo.observe(0.0, 10e-6, committed=True)
+        ticker = _start(slo, engine)
+        _tick(ticker)
+        assert slo.breaches == {"latency": 0, "abort_rate": 0}
+
+    def test_old_samples_fall_out_of_the_window(self):
+        slo = SloMonitor(window=1e-3, interval=5e-3, p99_target=50e-6)
+        engine = _StubEngine()
+        # Observed at t=0; the first tick happens at t=5ms, far past
+        # the 1ms window, so the stale breach-worthy sample is gone.
+        slo.observe(0.0, 90e-6, committed=True)
+        ticker = _start(slo, engine)
+        _tick(ticker)
+        assert slo.breaches["latency"] == 0
+        assert slo.registry.gauge("load.win_p99_us").value == 0.0
+
+    def test_progress_callback_receives_a_line(self):
+        lines = []
+        slo = SloMonitor(window=1.0, interval=1e-3, progress=lines.append)
+        ticker = _start(slo, _StubEngine())
+        _tick(ticker)
+        assert len(lines) == 1
+        assert "win_p99" in lines[0]
+
+
+class _StubBalanceWorkload:
+    """total_balance returns the next scripted value per call."""
+
+    def __init__(self, *values):
+        self._values = list(values)
+
+    def total_balance(self, catalog, memory_nodes):
+        return self._values.pop(0)
+
+
+_STUB_CLUSTER = SimpleNamespace(catalog=None, memory_nodes=None)
+
+
+class TestConservationMonitor:
+    def test_unattached_monitor_reports_itself(self):
+        monitor = ConservationMonitor(_StubBalanceWorkload())
+        assert monitor.check_final(_STUB_CLUSTER) == [
+            "LOAD-CONSERVE monitor was never attached"
+        ]
+
+    def test_conserved_balance_is_clean(self):
+        monitor = ConservationMonitor(_StubBalanceWorkload(1_000, 1_000))
+        monitor.attach(_STUB_CLUSTER)
+        assert monitor.check_final(_STUB_CLUSTER) == []
+
+    def test_drifted_balance_is_flagged(self):
+        monitor = ConservationMonitor(_StubBalanceWorkload(1_000, 993))
+        monitor.attach(_STUB_CLUSTER)
+        problems = monitor.check_final(_STUB_CLUSTER)
+        assert len(problems) == 1
+        assert "LOAD-CONSERVE" in problems[0]
+        assert "delta -7" in problems[0]
+
+
+def _new_order_ack(w, d, o_id):
+    return SimpleNamespace(value={"kind": "new_order", "w": w, "d": d, "o_id": o_id})
+
+
+class TestOrderIdMonitor:
+    def test_duplicate_order_id_is_a_lost_update(self):
+        monitor = OrderIdMonitor(workload=None)
+        monitor.on_commit(None, _new_order_ack(0, 1, 5), now=1e-3)
+        monitor.on_commit(None, _new_order_ack(0, 1, 6), now=2e-3)
+        monitor.on_commit(None, _new_order_ack(0, 1, 5), now=3e-3)
+        assert len(monitor.violations) == 1
+        assert "duplicate o_id 5" in monitor.violations[0]
+
+    def test_distinct_districts_do_not_collide(self):
+        monitor = OrderIdMonitor(workload=None)
+        monitor.on_commit(None, _new_order_ack(0, 1, 5), now=1e-3)
+        monitor.on_commit(None, _new_order_ack(0, 2, 5), now=2e-3)
+        monitor.on_commit(None, _new_order_ack(1, 1, 5), now=3e-3)
+        assert monitor.violations == []
+
+    def test_non_new_order_acks_are_ignored(self):
+        monitor = OrderIdMonitor(workload=None)
+        monitor.on_commit(None, SimpleNamespace(value=42), now=1e-3)
+        monitor.on_commit(None, SimpleNamespace(value={"kind": "payment"}), now=2e-3)
+        assert monitor.violations == []

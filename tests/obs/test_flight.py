@@ -140,3 +140,48 @@ class TestFlightContent:
         # Coordinator log-region registration is control-plane traffic
         # posted before any attempt opens; nothing else may leak.
         assert set(obs.flight.unattributed) <= {"ctrl_register_log_region"}
+
+
+class TestBoundedMemory:
+    def test_max_flights_evicts_oldest_closed_attempts(self):
+        recorder = FlightRecorder(max_flights=10)
+        for txn in range(100):
+            record = recorder.begin("pandora", 0, 1, txn, 1, txn * 1e-6)
+            recorder.close(record, "commit", txn * 1e-6 + 5e-7)
+        assert len(recorder.attempts) == 10
+        assert recorder.evicted == 90
+        # The survivors are the newest records, in order.
+        assert [record.txn_id for record in recorder.attempts] == list(range(90, 100))
+
+    def test_open_attempts_are_never_evicted(self):
+        recorder = FlightRecorder(max_flights=5)
+        kept_open = [
+            recorder.begin("pandora", 0, 1, txn, 1, txn * 1e-6) for txn in range(20)
+        ]
+        # Nothing is closed, so nothing may be dropped — a crash report
+        # must still see what was killed mid-air.
+        assert len(recorder.attempts) == 20
+        assert recorder.evicted == 0
+        for record in kept_open:
+            recorder.close(record, "abort:crash", 1e-3)
+        recorder.begin("pandora", 0, 1, 99, 1, 2e-3)
+        assert len(recorder.attempts) == 5
+
+    def test_max_flights_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(max_flights=0)
+        assert NullFlightRecorder().max_flights is None
+
+    def test_bounded_recorder_survives_a_10x_run(self):
+        # The regression this bound exists for: a long traffic run must
+        # not accumulate one resident record per attempt. Same seeded
+        # workload, 10x the duration, yet residency stays at the cap
+        # and the run outcome is untouched by eviction.
+        long_steady = dict(STEADY, duration=10 * STEADY["duration"])
+        base = run_steady_state(_smallbank, "pandora", **long_steady)
+        obs = Obs(trace=False, flight=True, max_flights=64)
+        bounded = run_steady_state(_smallbank, "pandora", obs=obs, **long_steady)
+        assert bounded == base
+        assert len(obs.flight.attempts) <= 64
+        assert obs.flight.evicted > 1_000
+        assert obs.flight.evicted + len(obs.flight.attempts) >= base.commits

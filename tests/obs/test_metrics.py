@@ -184,3 +184,38 @@ class TestPrometheusRendering:
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestRollingWindow:
+    def test_eviction_is_time_based(self):
+        from repro.obs.metrics import RollingWindow
+
+        window = RollingWindow(1e-3)
+        window.add(0.0, 1.0)
+        window.add(0.5e-3, 2.0)
+        window.add(1.2e-3, 3.0)
+        assert window.count(1.2e-3) == 2  # the t=0 sample aged out
+        assert window.mean(1.2e-3) == pytest.approx(2.5)
+        assert window.count(10.0) == 0
+        assert window.mean(10.0) == 0.0
+
+    def test_percentiles_are_exact_over_the_window(self):
+        from repro.obs.metrics import RollingWindow
+
+        window = RollingWindow(1.0)
+        for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+            window.add(0.0, value)
+        assert window.percentile(0.0, 0) == 1.0
+        assert window.percentile(0.0, 50) == 3.0
+        assert window.percentile(0.0, 99) == 5.0
+        assert window.percentile(0.0, 100) == 5.0
+
+    def test_percentile_validation_and_empty_window(self):
+        from repro.obs.metrics import RollingWindow
+
+        window = RollingWindow(1.0)
+        assert window.percentile(0.0, 99) == 0.0
+        with pytest.raises(ValueError):
+            window.percentile(0.0, 101)
+        with pytest.raises(ValueError):
+            RollingWindow(0.0)

@@ -40,6 +40,59 @@ class TestZipfSampler:
             ZipfSampler(10, -0.5, random.Random(0))
 
 
+class TestAliasTableShape:
+    """Distribution-shape checks for the O(1) alias-method sampler."""
+
+    def test_alias_table_mass_is_exact(self):
+        # The alias decomposition must preserve each rank's total mass:
+        # P(i) = (prob[i] + sum of (1 - prob[j]) over aliases j->i) / n.
+        sampler = ZipfSampler(64, 0.99, random.Random(4))
+        reconstructed = [sampler._prob[i] for i in range(sampler.n)]
+        for j in range(sampler.n):
+            target = sampler._alias[j]
+            if target != j:
+                reconstructed[target] += 1.0 - sampler._prob[j]
+        for rank in range(sampler.n):
+            assert reconstructed[rank] / sampler.n == pytest.approx(
+                sampler.pmf(rank), abs=1e-12
+            )
+
+    def test_empirical_matches_pmf(self):
+        # Chi-square-style check: empirical frequency of every rank of
+        # a small keyspace within 5 sigma of the exact pmf.
+        n, draws = 20, 50_000
+        sampler = ZipfSampler(n, 0.99, random.Random(5))
+        counts = Counter(sampler.sample() for _ in range(draws))
+        for rank in range(n):
+            p = sampler.pmf(rank)
+            sigma = (draws * p * (1 - p)) ** 0.5
+            assert abs(counts[rank] - draws * p) < 5 * sigma + 1
+
+    def test_theta_sweep_head_mass_monotone(self):
+        # Higher theta concentrates more mass on the head.
+        draws = 20_000
+        head_shares = []
+        for theta in (0.0, 0.5, 0.99, 1.3):
+            sampler = ZipfSampler(500, theta, random.Random(6))
+            counts = Counter(sampler.sample() for _ in range(draws))
+            head_shares.append(sum(counts[i] for i in range(10)) / draws)
+        assert head_shares == sorted(head_shares)
+
+    def test_internal_and_external_rng_agree(self):
+        # sample() is sample_with(internal rng): same stream, same draws.
+        a = ZipfSampler(100, 0.8, random.Random(7))
+        b = ZipfSampler(100, 0.8, random.Random(0))
+        external = random.Random(7)
+        assert [a.sample() for _ in range(50)] == [
+            b.sample_with(external) for _ in range(50)
+        ]
+
+    def test_single_rank(self):
+        sampler = ZipfSampler(1, 0.99, random.Random(8))
+        assert all(sampler.sample() == 0 for _ in range(10))
+        assert sampler.pmf(0) == pytest.approx(1.0)
+
+
 class TestUniformAndHotSet:
     def test_uniform_range(self):
         sampler = UniformSampler(10, random.Random(1))
