@@ -10,7 +10,9 @@ and ``benchmarks/results/kernel_perf.txt``. Two guards:
 * **overhead**: a fully-profiled run must stay within a bounded
   wall-clock factor of the unprofiled run (the profiler's frame
   push/pop is ~10 dict operations per instrumented boundary).
-  Measured ~1.9x; mirrors ``test_obs_overhead.py``'s slack.
+  Measured ~2.7x against the ring kernel's fast path (the fast path
+  cut the unprofiled denominator; absolute profiled speed is
+  unchanged); mirrors ``test_obs_overhead.py``'s slack.
 """
 
 import json
@@ -18,6 +20,7 @@ import pathlib
 
 from repro.bench.kernelperf import (
     DEFAULT_FLEETS,
+    SMOKE_FLEET,
     run_fleet,
     run_suite,
     suite_payload,
@@ -29,7 +32,13 @@ from repro.obs.profile import KernelProfiler
 
 BASELINE = pathlib.Path(__file__).parent / "results" / "BENCH_KERNEL.json"
 
-MAX_PROFILED_OVERHEAD = 2.5
+# Measured ~2.7x on the ring kernel: the PR 9 fast path shrank the
+# *unprofiled* denominator ~2.6x while the profiled twin still pays
+# the same per-boundary frame push/pop, so the ratio rose even though
+# absolute profiled wall-us/event is unchanged. 4x still catches a
+# profiler hot-path regression (which moves the ratio, not the
+# denominator).
+MAX_PROFILED_OVERHEAD = 4.0
 
 
 def test_kernel_events_per_sec():
@@ -45,6 +54,21 @@ def test_kernel_events_per_sec():
     assert not failures, "kernel-perf regression vs committed baseline:\n" + (
         "\n".join(f"  {failure}" for failure in failures)
     )
+
+
+def test_smoke_fleet_1024_coordinators():
+    """100x-scale smoke: 1024 coordinators must run and reproduce steps.
+
+    Steps-only by design — no wall-clock gate. The point is that the
+    ring kernel survives a fleet two orders of magnitude beyond the
+    committed sweep's smallest point without blowing up (queue growth,
+    recursion, quadratic scans), and that its virtual behaviour is
+    still seed-deterministic at that scale.
+    """
+    first = run_fleet(SMOKE_FLEET, repeats=1, seed=42)
+    assert first.steps > 0
+    again = run_fleet(SMOKE_FLEET, repeats=1, seed=42)
+    assert again.steps == first.steps
 
 
 def test_profiled_overhead_bounded():

@@ -39,6 +39,7 @@ __all__ = [
     "FleetSpec",
     "KernelPerfResult",
     "DEFAULT_FLEETS",
+    "SMOKE_FLEET",
     "DEFAULT_TOLERANCE",
     "SNAPSHOT_SCHEMA",
     "run_fleet",
@@ -94,6 +95,19 @@ DEFAULT_FLEETS = (
         keys=100_000,
         duration=0.25e-3,
     ),
+)
+
+#: The 100x-scale smoke fleet: 1024 coordinators (16 compute nodes x 64
+#: coordinators). Not part of the committed sweep — CI runs it with
+#: ``repeats=1`` and checks only that it completes and reproduces its
+#: step count (steps-only: a 1024-coordinator build is too slow-varying
+#: on shared runners for a meaningful wall-clock gate).
+SMOKE_FLEET = FleetSpec(
+    "16x64-smoke",
+    compute_nodes=16,
+    coordinators_per_node=64,
+    keys=100_000,
+    duration=0.1e-3,
 )
 
 

@@ -93,6 +93,7 @@ class ChaosRunner:
         schedule: Schedule,
         sanitize: bool = False,
         fd_redetect_interval: float = DEFAULT_FD_REDETECT_INTERVAL,
+        legacy_kernel: bool = False,
     ) -> None:
         self.schedule = schedule
         if fd_redetect_interval <= 0:
@@ -116,6 +117,7 @@ class ChaosRunner:
                 fd_redetect_interval if schedule.fd_redetect else None
             ),
             sanitize=sanitize,
+            legacy_kernel=legacy_kernel,
         )
         self.cluster = Cluster(config, _FuzzWorkload(schedule.keys))
         self.history: List = []

@@ -248,6 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fractional events/sec drop allowed vs the baseline "
              "(default: the baseline's own tolerance field, 0.25)",
     )
+    perf.add_argument(
+        "--compare", nargs=2, metavar=("OLD.json", "NEW.json"), default=None,
+        help="render a per-fleet delta table between two BENCH_*.json "
+             "snapshots (events/sec, wall us/event, step drift)",
+    )
 
     report = sub.add_parser(
         "obs-report",
@@ -546,6 +551,30 @@ def _cmd_chaos(args) -> int:
 
 def _cmd_perf(args) -> int:
     from repro.bench import kernelperf
+
+    if args.compare:
+        import json as json_module
+        import os
+
+        from repro.obs.report import compare_snapshots
+
+        old_path, new_path = args.compare
+        snapshots = []
+        for path in (old_path, new_path):
+            try:
+                with open(path) as handle:
+                    snapshots.append(json_module.load(handle))
+            except (OSError, ValueError) as error:
+                raise SystemExit(f"cannot read snapshot {path!r}: {error}")
+        print(
+            compare_snapshots(
+                snapshots[0],
+                snapshots[1],
+                label_before=os.path.basename(old_path),
+                label_after=os.path.basename(new_path),
+            )
+        )
+        return 0
 
     if args.bench:
         results = kernelperf.run_suite(repeats=args.repeats)

@@ -53,7 +53,7 @@ class Cluster:
         # Observability facade shared by every layer; the no-op default
         # keeps all instrumented hot paths at a single empty call.
         self.obs = obs if obs is not None else NOOP_OBS
-        self.sim = Simulator(profiler=profiler)
+        self.sim = Simulator(profiler=profiler, legacy=config.legacy_kernel)
         self.rng = random.Random(config.seed)
         self.network = Network(config.network, random.Random(config.seed + 1))
         # Wall-clock profiler propagation: the network and (enabled)
@@ -147,6 +147,7 @@ class Cluster:
             restart_hook=self.restart_compute,
             restart_after=config.restart_failed_after,
             obs=self.obs,
+            parallel_log_recovery=config.parallel_log_recovery,
         )
         self.fd.recovery_manager = self.recovery
         self.recycler = IdRecycler(

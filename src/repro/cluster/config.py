@@ -55,6 +55,18 @@ class ClusterConfig:
     # the historical behaviour). See FailureDetector._redetect_pass.
     fd_redetect_interval: Optional[float] = None
 
+    # Kernel scheduler build: False = now-ring + timer-heap fast path,
+    # True = the pre-ring single-heap scheduler. Both produce
+    # bit-identical virtual-time behaviour (asserted by the parity
+    # suite, tests/integration/test_scheduler_parity.py); legacy exists
+    # only so that suite can diff the two builds.
+    legacy_kernel: bool = False
+
+    # RC log recovery: post the f+1 region reads for all dead
+    # coordinators in one burst (paper §4, Table 2) instead of one
+    # coordinator per round trip. See RecoveryManager._log_recovery.
+    parallel_log_recovery: bool = True
+
     # Recovery.
     drain_delay: float = 0.5e-3
     reconfig_delay: float = 2e-3

@@ -135,6 +135,7 @@ class LitmusRunner:
         crash_points: Optional[List[str]] = None,
         retry_writers: bool = True,
         sanitize: bool = False,
+        legacy_kernel: bool = False,
     ) -> None:
         self.spec = spec
         # One-shot writers match Figure 5 exactly (each litmus txn runs
@@ -163,6 +164,7 @@ class LitmusRunner:
             drain_delay=0.2e-3,
             abandon_on_conflict=not retry_writers,
             sanitize=sanitize,
+            legacy_kernel=legacy_kernel,
         )
         config.network.jitter = jitter
         config.network.loss_probability = loss_probability

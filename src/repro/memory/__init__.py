@@ -1,5 +1,5 @@
 """Memory-node substrate: passive object slots and per-coordinator logs."""
 
-from repro.memory.node import LogRecord, LogRegion, MemoryNode, ObjectSlot
+from repro.memory.node import LogRecord, LogRegion, MemoryNode, ObjectSlot, Table
 
-__all__ = ["LogRecord", "LogRegion", "MemoryNode", "ObjectSlot"]
+__all__ = ["LogRecord", "LogRegion", "MemoryNode", "ObjectSlot", "Table"]

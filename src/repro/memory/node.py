@@ -16,7 +16,14 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis import NOOP_SANITIZER
 
-__all__ = ["ObjectSlot", "LogRecord", "LogRegion", "MemoryNode", "OBJECT_HEADER_BYTES"]
+__all__ = [
+    "ObjectSlot",
+    "Table",
+    "LogRecord",
+    "LogRegion",
+    "MemoryNode",
+    "OBJECT_HEADER_BYTES",
+]
 
 # Lock word (8B) + version (8B) = per-object metadata read alongside values.
 OBJECT_HEADER_BYTES = 16
@@ -29,30 +36,111 @@ LOG_ENTRY_HEADER_BYTES = 32
 LOG_REGION_CAPACITY_BYTES = 32 * 1024
 
 
-class ObjectSlot:
-    """One object's in-memory representation on a memory server."""
+class Table:
+    """Columnar slot storage for one table partition.
 
-    __slots__ = ("lock", "version", "value", "present", "value_size")
+    Slots are stored as parallel arrays keyed by the catalog's integer
+    slot ids — one Python list per field (lock word, version, payload,
+    valid bit) — instead of one heap object per slot. The verb handlers
+    index the columns directly, which both halves per-slot memory and
+    keeps the hot verbs to two list indexings instead of an attribute
+    walk through a per-object ``__dict__``/slot descriptor.
 
-    def __init__(self, value: Any = None, value_size: int = 8, present: bool = False) -> None:
-        self.lock = 0
-        self.version = 0
-        self.value = value
-        self.present = present
+    Indexing or iterating a table yields :class:`ObjectSlot` views for
+    tests and cold paths that still want object-style access.
+    """
+
+    __slots__ = ("table_id", "value_size", "locks", "versions", "values", "present")
+
+    def __init__(self, table_id: int, slots: int, value_size: int) -> None:
+        self.table_id = table_id
         self.value_size = value_size
+        self.locks: List[int] = [0] * slots
+        self.versions: List[int] = [0] * slots
+        self.values: List[Any] = [None] * slots
+        self.present: List[bool] = [False] * slots
+
+    def __len__(self) -> int:
+        return len(self.locks)
+
+    def __getitem__(self, slot: int) -> "ObjectSlot":
+        return ObjectSlot(self, slot)
+
+    def __iter__(self):
+        for slot in range(len(self.locks)):
+            yield ObjectSlot(self, slot)
+
+
+class ObjectSlot:
+    """Object-style view over one slot of a columnar :class:`Table`.
+
+    The storage of record fields lives in the table's parallel arrays;
+    this proxy keeps the historical per-object API (``slot.lock = 1``,
+    ``slot.snapshot()``) working for tests, the chaos oracle, and the
+    recovery restore path.
+    """
+
+    __slots__ = ("table", "index")
+
+    def __init__(self, table: Table, index: int) -> None:
+        self.table = table
+        self.index = index
+
+    @property
+    def lock(self) -> int:
+        return self.table.locks[self.index]
+
+    @lock.setter
+    def lock(self, word: int) -> None:
+        self.table.locks[self.index] = word
+
+    @property
+    def version(self) -> int:
+        return self.table.versions[self.index]
+
+    @version.setter
+    def version(self, version: int) -> None:
+        self.table.versions[self.index] = version
+
+    @property
+    def value(self) -> Any:
+        return self.table.values[self.index]
+
+    @value.setter
+    def value(self, value: Any) -> None:
+        self.table.values[self.index] = value
+
+    @property
+    def present(self) -> bool:
+        return self.table.present[self.index]
+
+    @present.setter
+    def present(self, present: bool) -> None:
+        self.table.present[self.index] = present
+
+    @property
+    def value_size(self) -> int:
+        return self.table.value_size
 
     def header(self) -> Tuple[int, int, bool]:
         """The 16-byte header: (lock word, version, present)."""
-        return (self.lock, self.version, self.present)
+        table, index = self.table, self.index
+        return (table.locks[index], table.versions[index], table.present[index])
 
     def snapshot(self) -> Tuple[int, int, bool, Any]:
         """Full object image: (lock, version, present, value)."""
-        return (self.lock, self.version, self.present, self.value)
+        table, index = self.table, self.index
+        return (
+            table.locks[index],
+            table.versions[index],
+            table.present[index],
+            table.values[index],
+        )
 
     @property
     def slot_bytes(self) -> int:
         """Wire size of the slot (header + value)."""
-        return OBJECT_HEADER_BYTES + self.value_size
+        return OBJECT_HEADER_BYTES + self.table.value_size
 
 
 @dataclass
@@ -157,7 +245,7 @@ class MemoryNode:
         # PILL sanitizer hook (repro.analysis); the no-op singleton
         # keeps the disabled path at one lookup + one empty call.
         self.sanitizer = NOOP_SANITIZER
-        self.tables: Dict[int, List[ObjectSlot]] = {}
+        self.tables: Dict[int, Table] = {}
         self.value_sizes: Dict[int, int] = {}
         self.log_regions: Dict[int, LogRegion] = {}
         self._revoked: Set[int] = set()
@@ -183,18 +271,18 @@ class MemoryNode:
     # -- provisioning (control path, done at cluster build / setup) -------
 
     def create_table(self, table_id: int, slots: int, value_size: int) -> None:
-        """Allocate the slot array for one table."""
+        """Allocate the columnar slot arrays for one table."""
         if table_id in self.tables:
             raise ValueError(f"table {table_id} already exists on node {self.node_id}")
-        self.tables[table_id] = [ObjectSlot(value_size=value_size) for _ in range(slots)]
+        self.tables[table_id] = Table(table_id, slots, value_size)
         self.value_sizes[table_id] = value_size
 
     def load_slot(self, table_id: int, slot: int, value: Any, version: int = 1) -> None:
         """Bulk-load an object (bypasses the network; setup only)."""
-        entry = self.tables[table_id][slot]
-        entry.value = value
-        entry.version = version
-        entry.present = True
+        table = self.tables[table_id]
+        table.values[slot] = value
+        table.versions[slot] = version
+        table.present[slot] = True
 
     def slot(self, table_id: int, slot: int) -> ObjectSlot:
         """Direct slot access (tests/introspection only)."""
@@ -222,56 +310,69 @@ class MemoryNode:
         if handler is None:
             raise ValueError(f"unknown verb kind {kind!r}")
         self.verb_counts[kind] = self.verb_counts.get(kind, 0) + 1
-        self.sanitizer.before_verb(self, src_compute_id, kind, args)
+        sanitizer = self.sanitizer
+        if sanitizer is NOOP_SANITIZER:
+            # Fast path: skip even the empty hook calls. The sanitizer
+            # is wired before any traffic, so the check is stable.
+            return handler(src_compute_id, args)
+        sanitizer.before_verb(self, src_compute_id, kind, args)
         result = handler(src_compute_id, args)
-        self.sanitizer.after_verb(self, src_compute_id, kind, args, result[0])
+        sanitizer.after_verb(self, src_compute_id, kind, args, result[0])
         return result
 
     # Data-path verbs ---------------------------------------------------------
 
     def _op_read_object(self, _src: int, args: Tuple) -> Tuple[Any, int]:
         table_id, slot = args
-        entry = self.tables[table_id][slot]
-        return entry.snapshot(), entry.slot_bytes
+        table = self.tables[table_id]
+        snapshot = (
+            table.locks[slot],
+            table.versions[slot],
+            table.present[slot],
+            table.values[slot],
+        )
+        return snapshot, OBJECT_HEADER_BYTES + table.value_size
 
     def _op_read_header(self, _src: int, args: Tuple) -> Tuple[Any, int]:
         table_id, slot = args
-        entry = self.tables[table_id][slot]
-        return entry.header(), OBJECT_HEADER_BYTES
+        table = self.tables[table_id]
+        return (table.locks[slot], table.versions[slot], table.present[slot]), OBJECT_HEADER_BYTES
 
     def _op_read_headers(self, _src: int, args: Tuple) -> Tuple[Any, int]:
         """Doorbell-batched header read for a list of (table, slot)."""
         addresses = args[0]
+        tables = self.tables
         headers = []
         for table_id, slot in addresses:
-            headers.append(self.tables[table_id][slot].header())
+            table = tables[table_id]
+            headers.append((table.locks[slot], table.versions[slot], table.present[slot]))
         return headers, OBJECT_HEADER_BYTES * len(headers)
 
     def _op_cas_lock(self, _src: int, args: Tuple) -> Tuple[Any, int]:
         table_id, slot, expected, desired = args
-        entry = self.tables[table_id][slot]
-        old = entry.lock
+        locks = self.tables[table_id].locks
+        old = locks[slot]
         if old == expected:
-            entry.lock = desired
+            locks[slot] = desired
         return old, 8
 
     def _op_write_lock(self, _src: int, args: Tuple) -> Tuple[Any, int]:
         table_id, slot, word = args
-        self.tables[table_id][slot].lock = word
+        self.tables[table_id].locks[slot] = word
         return None, 8
 
     def _op_write_object(self, _src: int, args: Tuple) -> Tuple[Any, int]:
         """In-place update of value + version (+ presence)."""
         table_id, slot, version, value, present = args
-        entry = self.tables[table_id][slot]
-        entry.version = version
-        entry.value = value
-        entry.present = present
+        table = self.tables[table_id]
+        table.versions[slot] = version
+        table.values[slot] = value
+        table.present[slot] = present
         return None, 8
 
     def _op_write_value(self, _src: int, args: Tuple) -> Tuple[Any, int]:
         table_id, slot, value = args
-        self.tables[table_id][slot].value = value
+        self.tables[table_id].values[slot] = value
         return None, 8
 
     # Log verbs ----------------------------------------------------------------
@@ -320,10 +421,11 @@ class MemoryNode:
         table_id, start, count = args
         table = self.tables[table_id]
         end = min(start + count, len(table))
+        locks = table.locks
         locked = [
-            (index, table[index].lock)
+            (index, locks[index])
             for index in range(start, end)
-            if table[index].lock != 0
+            if locks[index] != 0
         ]
         value_size = self.value_sizes.get(table_id, 8)
         chunk_bytes = (end - start) * (OBJECT_HEADER_BYTES + value_size)
@@ -356,8 +458,8 @@ class MemoryNode:
         """Indices of currently locked slots in a table."""
         return [
             index
-            for index, entry in enumerate(self.tables[table_id])
-            if entry.lock != 0
+            for index, lock in enumerate(self.tables[table_id].locks)
+            if lock != 0
         ]
 
     def total_data_bytes(self) -> int:

@@ -675,13 +675,38 @@ def compare_snapshots(
 ) -> str:
     """Delta table between two ``BENCH_*.json`` payloads.
 
-    Understands both snapshot shapes: load sweeps (``curves`` keyed by
-    protocol, one row per offered point) and steady-state payloads
-    (flat ``throughput_tps``/latency keys, one row per metric). The
-    delta column is relative to *before*.
+    Understands all three snapshot shapes: load sweeps (``curves``
+    keyed by protocol, one row per offered point), kernel-perf sweeps
+    (``fleets`` keyed by fleet name — also served by
+    ``repro perf --compare``), and steady-state payloads (flat
+    ``throughput_tps``/latency keys, one row per metric). The delta
+    column is relative to *before*.
     """
     headers = ["metric", label_before, label_after, "delta"]
     rows: List[Tuple[Any, ...]] = []
+    if "fleets" in before or "fleets" in after:
+        metrics = (
+            ("events_per_sec", "events/sec"),
+            ("wall_us_per_event", "us/event"),
+            ("steps", "steps"),
+        )
+        before_fleets = before.get("fleets", {})
+        after_fleets = after.get("fleets", {})
+        for fleet in sorted(set(before_fleets) | set(after_fleets)):
+            b = before_fleets.get(fleet, {})
+            a = after_fleets.get(fleet, {})
+            for key, label in metrics:
+                rows.append(
+                    (
+                        f"{fleet} {label}",
+                        b.get(key, "-"),
+                        a.get(key, "-"),
+                        _delta_cell(b.get(key), a.get(key)),
+                    )
+                )
+            if b.get("steps") not in (None, a.get("steps")) and a.get("steps") is not None:
+                rows.append((f"{fleet} STEP DRIFT", "", "behaviour changed", ""))
+        return render_rows(headers, rows, title="kernel-perf snapshot delta")
     if "curves" in before or "curves" in after:
         metrics = (
             ("achieved_tps", "achieved"),

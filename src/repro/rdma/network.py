@@ -60,13 +60,29 @@ class Network:
         self.config = config
         self._rng = rng
         # Wall-clock profiler hook; the cluster builder swaps in the
-        # simulator's enabled profiler. Same no-op discipline as the
-        # obs/sanitizer hooks on the queue pair.
-        self.profiler = NULL_PROFILER
+        # simulator's enabled profiler via the property below, which
+        # rebinds ``delay`` so the unprofiled path pays no wrapper call.
+        self._profiler = NULL_PROFILER
+        self.delay = self._delay
+
+    @property
+    def profiler(self):
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler) -> None:
+        self._profiler = profiler
+        # Instance-attribute shadowing, same idiom as Simulator: the
+        # per-message hot path is one bound call either way.
+        self.delay = self._profiled_delay if profiler.enabled else self._delay
 
     def delay(self, size_bytes: int) -> float:
         """One-way delay for a message of *size_bytes*."""
-        profiler = self.profiler
+        return self._delay(size_bytes)
+
+    def _profiled_delay(self, size_bytes: int) -> float:
+        """``delay`` twin with a wall-clock profiler frame."""
+        profiler = self._profiler
         profiler.push("network", "delay")
         try:
             return self._delay(size_bytes)
@@ -74,6 +90,7 @@ class Network:
             profiler.pop()
 
     def _delay(self, size_bytes: int) -> float:
+        """One-way delay for a message of *size_bytes*."""
         cfg = self.config
         delay = cfg.one_way_latency + size_bytes / cfg.bandwidth_bytes_per_sec
         if cfg.jitter:

@@ -11,11 +11,32 @@ is built as processes on top of it, which gives us two properties the
 paper's testbed cannot offer: *determinism* (a seeded run always yields
 the same history) and *precise fault placement* (a compute node can be
 crashed between any two protocol steps).
+
+Scheduling is split across two queues (see docs/KERNEL.md):
+
+* the **now-ring** — a plain FIFO deque holding every entry due at the
+  current virtual time. ``call_soon``/``_post`` (the vast majority of
+  traffic: event callbacks, process resumptions, fan-in) append here
+  and never touch the heap.
+* the **timer heap** — a ``(when, seq, entry)`` heapq holding only
+  entries strictly in the future. When the ring drains, the kernel pops
+  the earliest timer, advances the clock, and *drains every other timer
+  due at that same instant into the ring* so same-timestamp work
+  dispatches FIFO without further heap traffic.
+
+The split preserves the exact global ``(when, seq)`` dispatch order of
+the single-heap kernel: at the moment the clock advances to ``t`` the
+ring is empty and the heap yields the ``t``-entries in seq order; any
+entry scheduled *at* ``t`` afterwards appends behind them, which is
+where its (larger) seq would have sorted it anyway. ``legacy=True``
+reinstates the single-heap scheduler so parity tests can diff the two
+builds event-for-event.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -63,6 +84,16 @@ class Event:
         self._exception: Optional[BaseException] = None
         self.callbacks: List[Callable[["Event"], None]] = []
 
+    def __call__(self) -> None:
+        """Kernel dispatch: fire the callbacks of a triggered event.
+
+        Events and raw callables share one dispatch shape — the kernel
+        just calls whatever it dequeues, so ``step`` needs no
+        ``isinstance`` branch.
+        """
+        if self._state == _TRIGGERED:
+            self._run_callbacks()
+
     @property
     def triggered(self) -> bool:
         """True once the event has fired (succeeded or failed)."""
@@ -89,7 +120,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Fire the event successfully with *value*."""
-        if self.triggered:
+        if self._state != _PENDING:
             raise RuntimeError("event already triggered")
         self._state = _TRIGGERED
         self._value = value
@@ -98,7 +129,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Fire the event with an exception."""
-        if self.triggered:
+        if self._state != _PENDING:
             raise RuntimeError("event already triggered")
         self._state = _TRIGGERED
         self._exception = exception
@@ -118,7 +149,7 @@ class Event:
         are already executing at the event's due time: it skips the
         schedule/dequeue round trip of :meth:`succeed`.
         """
-        if self.triggered:
+        if self._state != _PENDING:
             raise RuntimeError("event already triggered")
         self._value = value
         self._exception = exception
@@ -169,7 +200,10 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
         self._alive = True
-        sim.call_soon(lambda: self._resume(None, None))
+        sim.call_soon(self._begin)
+
+    def _begin(self) -> None:
+        self._resume(None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -248,11 +282,14 @@ class Process(Event):
         if not self._alive:
             return
         profiler = self.sim.profiler
-        profiler.push("resume", self.name)
-        try:
+        if profiler.enabled:
+            profiler.push("resume", self.name)
+            try:
+                self._resume_inner(value, exc)
+            finally:
+                profiler.pop()
+        else:
             self._resume_inner(value, exc)
-        finally:
-            profiler.pop()
 
     def _resume_inner(self, value: Any, exc: Optional[BaseException]) -> None:
         try:
@@ -319,18 +356,24 @@ class AllOf(_Condition):
 
     def _on_child(self, event: Event) -> None:
         profiler = self.sim.profiler
-        profiler.push("fanin", "AllOf")
-        try:
-            if self.triggered:
-                return
-            if event._exception is not None:
-                self.fail(event._exception)
-                return
-            self._pending_count -= 1
-            if self._pending_count == 0:
-                self.succeed([child._value for child in self.events])
-        finally:
-            profiler.pop()
+        if profiler.enabled:
+            profiler.push("fanin", "AllOf")
+            try:
+                self._on_child_inner(event)
+            finally:
+                profiler.pop()
+        else:
+            self._on_child_inner(event)
+
+    def _on_child_inner(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed([child._value for child in self.events])
 
 
 class AnyOf(_Condition):
@@ -349,65 +392,131 @@ class AnyOf(_Condition):
 
     def _on_child(self, event: Event) -> None:
         profiler = self.sim.profiler
-        profiler.push("fanin", "AnyOf")
-        try:
-            if self.triggered:
-                return
-            if event._exception is not None:
-                self.fail(event._exception)
-                return
-            self.succeed((self._index_of[id(event)], event._value))
-        finally:
-            profiler.pop()
+        if profiler.enabled:
+            profiler.push("fanin", "AnyOf")
+            try:
+                self._on_child_inner(event)
+            finally:
+                profiler.pop()
+        else:
+            self._on_child_inner(event)
+
+    def _on_child_inner(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed((self._index_of[id(event)], event._value))
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, event).
+    """The event loop: a now-ring plus a timer heap (see module doc).
+
+    Invariant: the timer heap only ever holds entries with
+    ``when > now``; everything due at the current instant lives in the
+    FIFO ring. ``step`` therefore never compares timestamps on the hot
+    path, and "time went backwards" is impossible by construction.
 
     *profiler*, when given an enabled
-    :class:`~repro.obs.profile.KernelProfiler`, swaps the dispatch
-    methods for instrumented twins at construction time — so the
-    default (unprofiled) loop pays literally zero extra work: no flag
-    test, no no-op call, not even an attribute load in ``step``. The
-    profiler only reads the wall clock; virtual-time behaviour is
+    :class:`~repro.obs.profile.KernelProfiler`, swaps the dispatch and
+    scheduling methods for instrumented twins at construction time — so
+    the default (unprofiled) loop pays literally zero extra work: no
+    flag test, no no-op call, not even an attribute load in ``step``.
+    The twins share the selection/dispatch body (``entry()`` via
+    :meth:`Event.__call__`), so they cannot drift behaviourally; the
+    profiler only reads the wall clock and virtual-time behaviour is
     bit-identical either way.
+
+    *legacy* reinstates the pre-ring single-heap scheduler (every entry
+    pays a heap push/pop, callables and events alike). It exists purely
+    so the parity suite can run old-vs-new builds in one process and
+    assert identical event orders, fingerprints, and
+    ``processed_events``.
     """
 
-    def __init__(self, profiler: Optional[Any] = None) -> None:
+    def __init__(self, profiler: Optional[Any] = None, legacy: bool = False) -> None:
         self.now: float = 0.0
-        self._queue: List[tuple] = []
+        self._ring: deque = deque()
+        self._timers: List[tuple] = []
         self._seq = 0
         self._processed_events = 0
+        self.legacy = legacy
         if profiler is None:
             from repro.obs.profile import NULL_PROFILER
 
             profiler = NULL_PROFILER
         self.profiler = profiler
-        if profiler.enabled:
+        if legacy:
             # Instance-attribute shadowing: these bindings win over the
             # class methods for this instance only.
+            self._post = self._legacy_post
+            self.call_soon = self._legacy_call_soon
+            self.call_at = self._legacy_call_at
+            self._schedule_at = self._legacy_schedule_at
+            self.step = self._legacy_step
+        if profiler.enabled:
             self.step = self._profiled_step
-            self._schedule_at = self._profiled_schedule_at
+            if legacy:
+                self._schedule_at = self._profiled_legacy_schedule_at
+            else:
+                self._post = self._profiled_post
+                self.call_soon = self._profiled_call_soon
+                self.call_at = self._profiled_call_at
+                self._schedule_at = self._profiled_schedule_at
 
     # -- scheduling --------------------------------------------------------
 
-    def _schedule_at(self, when: float, event: Event) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, event))
-
     def _post(self, event: Event) -> None:
         """Schedule a just-triggered event's callbacks to run now."""
-        self._schedule_at(self.now, event)
+        self._ring.append(event)
 
     def call_soon(self, func: Callable[[], None]) -> None:
         """Run *func* at the current virtual time on the next kernel step."""
-        self._schedule_at(self.now, func)
+        self._ring.append(func)
 
     def call_at(self, when: float, func: Callable[[], None]) -> None:
         """Run *func* at absolute virtual time *when*."""
+        if when <= self.now:
+            if when < self.now:
+                raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+            self._ring.append(func)
+            return
+        self._seq += 1
+        heapq.heappush(self._timers, (when, self._seq, func))
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        """Schedule *event* at *when* (ring if due now, heap if future)."""
+        if when <= self.now:
+            self._ring.append(event)
+            return
+        self._seq += 1
+        heapq.heappush(self._timers, (when, self._seq, event))
+
+    # -- legacy (single-heap) scheduling for parity testing ----------------
+
+    def _legacy_schedule_at(self, when: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._timers, (when, self._seq, event))
+
+    def _legacy_post(self, event: Event) -> None:
+        self._schedule_at(self.now, event)
+
+    def _legacy_call_soon(self, func: Callable[[], None]) -> None:
+        self._schedule_at(self.now, func)
+
+    def _legacy_call_at(self, when: float, func: Callable[[], None]) -> None:
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         self._schedule_at(when, func)
+
+    def _legacy_step(self) -> None:
+        when, _seq, entry = heapq.heappop(self._timers)
+        if when < self.now:
+            raise AssertionError("time went backwards")
+        self.now = when
+        entry()
+        self._processed_events += 1
 
     # -- primitives --------------------------------------------------------
 
@@ -433,76 +542,114 @@ class Simulator:
 
     # -- running -----------------------------------------------------------
 
+    def _advance(self) -> Any:
+        """Pop the earliest timer, advance the clock, drain its cohort.
+
+        Called only when the ring is empty. Every other timer due at the
+        same instant moves to the ring in seq order, so the whole cohort
+        dispatches FIFO with exactly one heap pop each and no timestamp
+        comparisons in ``step``.
+        """
+        timers = self._timers
+        when, _seq, entry = heapq.heappop(timers)
+        self.now = when
+        if timers and timers[0][0] == when:
+            append = self._ring.append
+            pop = heapq.heappop
+            while timers and timers[0][0] == when:
+                append(pop(timers)[2])
+        return entry
+
     def step(self) -> None:
         """Process exactly one queue entry."""
-        when, _seq, entry = heapq.heappop(self._queue)
-        if when < self.now:
-            raise AssertionError("time went backwards")
-        self.now = when
-        if isinstance(entry, Event):
-            if entry._state == _TRIGGERED:
-                entry._run_callbacks()
-        else:
-            # Raw callable scheduled via call_soon / call_at.
-            entry()
+        ring = self._ring
+        entry = ring.popleft() if ring else self._advance()
+        entry()
         self._processed_events += 1
 
     def _profiled_step(self) -> None:
         """``step`` twin with wall-clock attribution around dispatch."""
-        when, _seq, entry = heapq.heappop(self._queue)
-        if when < self.now:
-            raise AssertionError("time went backwards")
-        self.now = when
+        ring = self._ring
+        entry = ring.popleft() if ring else self._advance()
         profiler = self.profiler
         profiler.begin_step(entry)
         try:
-            if isinstance(entry, Event):
-                if entry._state == _TRIGGERED:
-                    entry._run_callbacks()
-            else:
-                entry()
+            entry()
         finally:
             profiler.end_step()
         self._processed_events += 1
 
+    # -- profiled scheduling twins (count queue pushes per source site) ----
+
+    def _profiled_post(self, event: Event) -> None:
+        self.profiler.on_schedule(event)
+        self._ring.append(event)
+
+    def _profiled_call_soon(self, func: Callable[[], None]) -> None:
+        self.profiler.on_schedule(func)
+        self._ring.append(func)
+
+    def _profiled_call_at(self, when: float, func: Callable[[], None]) -> None:
+        self.profiler.on_schedule(func)
+        Simulator.call_at(self, when, func)
+
     def _profiled_schedule_at(self, when: float, event: Event) -> None:
-        """``_schedule_at`` twin counting queue pushes per source site."""
         self.profiler.on_schedule(event)
         Simulator._schedule_at(self, when, event)
 
+    def _profiled_legacy_schedule_at(self, when: float, event: Event) -> None:
+        self.profiler.on_schedule(event)
+        Simulator._legacy_schedule_at(self, when, event)
+
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or virtual time reaches *until*."""
+        """Run until the queues drain or virtual time reaches *until*.
+
+        The stop check peeks the timer heap head at most once per step,
+        and only when the ring is empty: ring entries are due *now*,
+        which is ``<= until`` by construction, so they never need a
+        timestamp comparison. An entry landing exactly at ``until``
+        (e.g. a batched QP completion) is still dispatched.
+        """
         if until is not None and until < self.now:
             raise ValueError(f"until={until} is in the past (now={self.now})")
-        while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
-                self.now = until
-                return
-            self.step()
-        if until is not None:
-            self.now = until
+        ring = self._ring
+        timers = self._timers
+        step = self.step
+        if until is None:
+            while ring or timers:
+                step()
+            return
+        while ring or timers:
+            if not ring and timers[0][0] > until:
+                break
+            step()
+        self.now = until
 
     def run_until_complete(self, process: Process, limit: Optional[float] = None) -> Any:
         """Run until *process* finishes; return its value (or raise)."""
+        ring = self._ring
+        timers = self._timers
+        step = self.step
         while not process.triggered:
-            if not self._queue:
+            if not ring and not timers:
                 raise RuntimeError(
                     f"deadlock: process {process.name!r} pending with empty queue"
                 )
-            if limit is not None and self._queue[0][0] > limit:
-                raise TimeoutError(
-                    f"process {process.name!r} did not finish by t={limit}"
-                )
-            self.step()
+            if limit is not None:
+                due = self.now if ring else timers[0][0]
+                if due > limit:
+                    raise TimeoutError(
+                        f"process {process.name!r} did not finish by t={limit}"
+                    )
+            step()
         return process.value
 
     @property
     def processed_events(self) -> int:
-        """Total kernel steps executed."""
+        """Total entries dispatched (batched deliveries count each item)."""
         return self._processed_events
 
     @property
     def queue_depth(self) -> int:
-        """Entries currently pending in the scheduling queue."""
-        return len(self._queue)
+        """Entries currently pending across the ring and the timer heap."""
+        return len(self._ring) + len(self._timers)

@@ -1,0 +1,151 @@
+"""Old-vs-new scheduler parity: the ring kernel must be bit-identical.
+
+PR 9 split the kernel's single heapq into a now-ring + timer heap,
+batched same-arrival QP completions, and moved slot storage to columnar
+arrays — all pure speed work that must not change virtual-time
+behaviour at all. ``ClusterConfig.legacy_kernel=True`` rebuilds the
+pre-ring scheduler (every entry through one heap, one kernel entry per
+delivery), so both builds can run in one process and be diffed on:
+
+* end-state fingerprints (every slot's lock/version/present/value on
+  every memory node),
+* ``Simulator.processed_events`` (batched deliveries are compensated),
+* per-node verb counts (what the flight report aggregates),
+* litmus outcome counts and chaos committed/crash counts.
+"""
+
+import pytest
+
+from repro.chaos import ChaosRunner, generate_schedule
+from repro.litmus import LitmusRunner, litmus1_direct_write, litmus3_indirect_write
+
+CHAOS_SEEDS = list(range(10))
+
+
+def cluster_fingerprint(cluster):
+    """Stable digest of all object state + verb counts on live nodes."""
+    state = 0
+    mask = (1 << 64) - 1
+    for spec in sorted(cluster.catalog.tables.values(), key=lambda s: s.table_id):
+        slot_count = cluster.catalog.key_count(spec.table_id)
+        for slot in range(slot_count):
+            for node_id in sorted(cluster.memory_nodes):
+                memory = cluster.memory_nodes[node_id]
+                if not memory.alive:
+                    continue
+                table = memory.tables[spec.table_id]
+                value = table.values[slot]
+                if not isinstance(value, int):
+                    value = len(repr(value))
+                for folded in (
+                    node_id,
+                    table.locks[slot],
+                    table.versions[slot],
+                    int(table.present[slot]),
+                    value,
+                ):
+                    state = (state * 1000003 + folded) & mask
+    return state
+
+
+def verb_totals(cluster):
+    return {
+        node_id: dict(node.verb_counts)
+        for node_id, node in sorted(cluster.memory_nodes.items())
+    }
+
+
+class TestLitmusParity:
+    def _run(self, legacy, sanitize=False, crash_probability=0.0, spec=None):
+        runner = LitmusRunner(
+            spec if spec is not None else litmus1_direct_write(),
+            protocol="pandora",
+            rounds=12,
+            seed=7,
+            crash_probability=crash_probability,
+            legacy_kernel=legacy,
+            sanitize=sanitize,
+        )
+        report = runner.run()
+        return report, runner.cluster
+
+    def assert_identical(self, old, new):
+        old_report, old_cluster = old
+        new_report, new_cluster = new
+        assert new_report.commits == old_report.commits
+        assert new_report.aborts == old_report.aborts
+        assert new_report.unknown == old_report.unknown
+        assert new_report.crashes_injected == old_report.crashes_injected
+        assert [str(v) for v in new_report.violations] == [
+            str(v) for v in old_report.violations
+        ]
+        assert new_cluster.sim.processed_events == old_cluster.sim.processed_events
+        assert cluster_fingerprint(new_cluster) == cluster_fingerprint(old_cluster)
+        assert verb_totals(new_cluster) == verb_totals(old_cluster)
+
+    def test_clean_run_parity(self):
+        self.assert_identical(self._run(legacy=True), self._run(legacy=False))
+
+    def test_crashing_run_parity(self):
+        # Crashes exercise the recovery path (incl. the parallel log
+        # recovery) on both builds.
+        self.assert_identical(
+            self._run(legacy=True, crash_probability=0.3),
+            self._run(legacy=False, crash_probability=0.3),
+        )
+
+    def test_sanitized_run_parity(self):
+        # The sanitizer disables the QP/memory fast paths; the
+        # instrumented twins must schedule identically too.
+        self.assert_identical(
+            self._run(legacy=True, sanitize=True),
+            self._run(legacy=False, sanitize=True),
+        )
+
+    def test_sanitized_matches_unsanitized_on_new_kernel(self):
+        # Fast path vs instrumented path on the *same* (new) scheduler:
+        # hooks must not leak into virtual time.
+        plain_report, plain_cluster = self._run(legacy=False)
+        san_report, san_cluster = self._run(legacy=False, sanitize=True)
+        assert san_report.commits == plain_report.commits
+        assert san_cluster.sim.processed_events == plain_cluster.sim.processed_events
+        assert cluster_fingerprint(san_cluster) == cluster_fingerprint(plain_cluster)
+
+    def test_indirect_write_spec_parity(self):
+        spec = litmus3_indirect_write()
+        self.assert_identical(
+            self._run(legacy=True, spec=spec), self._run(legacy=False, spec=spec)
+        )
+
+
+class TestChaosBankParity:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_seed_parity(self, seed):
+        schedule = generate_schedule(seed)
+        old = ChaosRunner(schedule, legacy_kernel=True)
+        old_result = old.run()
+        new = ChaosRunner(generate_schedule(seed), legacy_kernel=False)
+        new_result = new.run()
+        assert new_result.fingerprint == old_result.fingerprint
+        assert new_result.committed == old_result.committed
+        assert new_result.crashes == old_result.crashes
+        assert new_result.recovery_kills == old_result.recovery_kills
+        assert [str(v) for v in new_result.violations] == [
+            str(v) for v in old_result.violations
+        ]
+        assert (
+            new.cluster.sim.processed_events == old.cluster.sim.processed_events
+        )
+        assert verb_totals(new.cluster) == verb_totals(old.cluster)
+
+
+class TestProfilerParity:
+    def test_profiled_run_is_bit_identical(self):
+        from repro.bench.kernelperf import FleetSpec, run_fleet
+        from repro.obs.profile import KernelProfiler
+
+        spec = FleetSpec("parity", compute_nodes=2, coordinators_per_node=4,
+                         keys=500, duration=2e-3)
+        plain = run_fleet(spec, repeats=1, seed=5)
+        profiled = run_fleet(spec, repeats=1, seed=5, profiler=KernelProfiler())
+        assert profiled.steps == plain.steps

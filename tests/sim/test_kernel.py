@@ -453,3 +453,95 @@ class TestCallScheduling:
             return trace
 
         assert build_and_run() == build_and_run()
+
+
+class TestNowRingScheduler:
+    """PR 9 ring-kernel specifics: the now-ring / timer-heap split.
+
+    Invariants under test: the timer heap only ever holds strictly
+    future entries, same-instant work drains in schedule order before
+    time advances, queue_depth spans both queues, and ``run(until=...)``
+    must peek across *both* queues — including when ``until`` lands
+    exactly on a batched QP completion's timestamp.
+    """
+
+    def test_timer_heap_holds_only_future_entries(self, sim):
+        sim.call_at(1.0, lambda: None)
+        sim.call_soon(lambda: None)
+        assert all(when > sim.now for when, _, _ in sim._timers)
+        assert len(sim._ring) == 1
+
+    def test_call_soon_during_cohort_runs_before_time_advances(self, sim):
+        order = []
+
+        def first():
+            order.append(("first", sim.now))
+            # Lands in the now-ring: must run at t=1.0, before the
+            # t=2.0 timer, even though it was scheduled last.
+            sim.call_soon(lambda: order.append(("soon", sim.now)))
+
+        sim.call_at(1.0, first)
+        sim.call_at(2.0, lambda: order.append(("later", sim.now)))
+        sim.run()
+        assert order == [("first", 1.0), ("soon", 1.0), ("later", 2.0)]
+
+    def test_same_instant_timers_drain_in_schedule_order(self, sim):
+        order = []
+        for tag in range(5):
+            sim.call_at(1.0, lambda tag=tag: order.append(tag))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_queue_depth_spans_ring_and_timers(self, sim):
+        sim.call_soon(lambda: None)
+        sim.call_at(1.0, lambda: None)
+        sim.call_at(2.0, lambda: None)
+        assert sim.queue_depth == 3
+
+    def test_run_until_lands_on_batched_completion(self, sim):
+        # Regression: run(until=T) with a coalesced QP batch due exactly
+        # at T must deliver every batched item, stop the clock at T, and
+        # count each item in processed_events (the batch compensates).
+        from repro.rdma.qp import _ArrivalBatch
+
+        batch = _ArrivalBatch(sim)
+        fired = []
+        batch.schedule(1.0, lambda: fired.append("a"))
+        batch.schedule(1.0, lambda: fired.append("b"))
+        batch.schedule(1.0, lambda: fired.append("c"))
+        # One kernel entry holds all three items.
+        assert sim.queue_depth == 1
+        before = sim.processed_events
+        sim.run(until=1.0)
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 1.0
+        assert sim.processed_events - before == 3
+
+    def test_batch_splits_when_another_push_intervenes(self, sim):
+        # An unrelated heap push between same-instant deliveries could
+        # order between them, so the coalescer must open a fresh batch.
+        from repro.rdma.qp import _ArrivalBatch
+
+        batch = _ArrivalBatch(sim)
+        order = []
+        batch.schedule(1.0, lambda: order.append("a"))
+        sim.call_at(1.0, lambda: order.append("other"))
+        batch.schedule(1.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "other", "b"]
+
+    def test_legacy_mode_matches_ring_mode(self):
+        def drive(sim):
+            trace = []
+
+            def worker(tag, delay):
+                for _ in range(4):
+                    yield sim.timeout(delay)
+                    trace.append((sim.now, tag))
+
+            for tag in range(4):
+                sim.process(worker(tag, 0.5 + tag * 0.25))
+            sim.run()
+            return trace, sim.processed_events
+
+        assert drive(Simulator()) == drive(Simulator(legacy=True))
