@@ -525,18 +525,18 @@ STATIC_MUTANTS: List[StaticMutantSpec] = [
     StaticMutantSpec(
         name="unguarded-acquire",
         description=(
-            "_acquire loses its RdmaError guard, so a yield between the "
-            "lock CAS and the log post can escape"
+            "the strategy-layer acquire loses its RdmaError guard, so a "
+            "yield between the lock CAS and the log post can escape the "
+            "method with no in-module handler"
         ),
-        path="src/repro/protocol/base.py",
+        path="src/repro/protocol/strategies.py",
         old=(
             "        try:\n"
-            "            yield from self._acquire_inner(tx, intent)\n"
-            "        except RdmaError as error:\n"
-            "            intent.lock_result = (False, AbortReason.LINK_REVOKED)\n"
-            "            intent.lock_error = error  # type: ignore[attr-defined]\n"
+            "            yield from self._acquire_flow(tx, intent)\n"
+            "        except RdmaError:\n"
+            "            raise\n"
         ),
-        new="        yield from self._acquire_inner(tx, intent)\n",
+        new="        yield from self._acquire_flow(tx, intent)\n",
         expected_rule="PROTO005",
     ),
     StaticMutantSpec(

@@ -47,7 +47,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.protocol.locks import ANONYMOUS_OWNER, is_locked, owner_of
+from repro.protocol.locks import (
+    ANONYMOUS_OWNER,
+    is_locked,
+    is_ticket_word,
+    owner_of,
+)
 
 __all__ = [
     "SanitizerViolation",
@@ -174,6 +179,13 @@ class PillSanitizer:
         self._coords_on_compute: Dict[int, Dict[int, bool]] = {}
         # Highest version posted via write_object, per compute per object.
         self._written: Dict[Tuple[int, Tuple[int, int]], int] = {}
+        # LOTUS: slots under ticket-queue management (the lock server
+        # re-grants on release, so the shadow lockset resyncs from
+        # ground truth there), and the coord-id -> compute-node map
+        # learned from faa_ticket posts (ticket words name the holding
+        # *coordinator*; the lockset names the issuing *compute*).
+        self._ticket_slots: set = set()
+        self._coord_compute: Dict[int, int] = {}
 
     # -- helpers -------------------------------------------------------------
 
@@ -284,7 +296,7 @@ class PillSanitizer:
                 if tracked.node_id == node_id:
                     self._decided.add((coord_id, tracked.record.txn_id))
                     self._drop_record(tracked)
-        elif kind == "write_object":
+        elif kind in ("write_object", "vote_write"):
             table_id, slot, version = args[0], args[1], args[2]
             key = (compute_id, (table_id, slot))
             if version > self._written.get(key, -1):
@@ -362,6 +374,8 @@ class PillSanitizer:
             self._before_write_lock(node, src, args)
         elif kind == "write_object":
             self._before_write_object(node, src, args)
+        elif kind == "vote_write":
+            self._before_vote_write(node, src, args)
         elif kind == "write_log":
             self._before_write_log(node, src, args)
         elif kind == "truncate_log_region":
@@ -388,6 +402,8 @@ class PillSanitizer:
                 self.lock_events.append(
                     (self._now(), table_id, slot, event, src, desired)
                 )
+                if desired == 0 and (table_id, slot) in self._ticket_slots:
+                    self._resync_ticket_slot(node, table_id, slot)
         elif kind == "write_lock":
             table_id, slot, word = args
             if word == 0:
@@ -399,12 +415,68 @@ class PillSanitizer:
             self.lock_events.append(
                 (self._now(), table_id, slot, event, src, word)
             )
+            if word == 0 and (table_id, slot) in self._ticket_slots:
+                self._resync_ticket_slot(node, table_id, slot)
+        elif kind == "faa_ticket":
+            table_id, slot, coord_id = args
+            self._coord_compute[coord_id] = src
+            ticket, _word = result
+            if ticket >= 0:
+                self._ticket_slots.add((table_id, slot))
+                self._resync_ticket_slot(node, table_id, slot)
+        elif kind == "cancel_ticket":
+            table_id, slot = args[0], args[1]
+            if (table_id, slot) in self._ticket_slots:
+                self._resync_ticket_slot(node, table_id, slot)
         elif kind == "write_log":
             record = args[0]
             tracked = self._records_by_obj.get(id(record))
             if tracked is not None and tracked.record_id is None:
                 tracked.record_id = result
                 self._records_by_id[(node.node_id, record.coord_id, result)] = tracked
+
+    def _resync_ticket_slot(self, node, table_id: int, slot: int) -> None:
+        """Re-read a queue-managed slot's ground-truth word.
+
+        The lock server re-grants on release (queue advance), so the
+        holder can change without any grant verb. Resyncing keeps the
+        shadow lockset's holder — and therefore PILL-WRITE /
+        PILL-UNLOCK — meaningful under LOTUS.
+        """
+        key = (table_id, slot)
+        word = node.tables[table_id].locks[slot]
+        previous = self._locks.get(key)
+        if word == 0:
+            self._locks.pop(key, None)
+            self._ticket_slots.discard(key)
+            return
+        if not is_ticket_word(word):
+            return  # foreign word (e.g. a restore reset it); leave as-is
+        holder = self._coord_compute.get(owner_of(word), -1)
+        self._locks[key] = (holder, word)
+        if previous is None or previous[1] != word:
+            self.lock_events.append(
+                (self._now(), table_id, slot, "grant", holder, word)
+            )
+
+    def _before_vote_write(self, node, src: int, args: Tuple) -> None:
+        """vote1pc apply: holder-checked like ``write_object``, but the
+        decision lives in replica state, so no landed undo record is
+        demanded (the point of the logless 1PC)."""
+        if src == self.recovery_id:
+            return
+        table_id, slot = args[0], args[1]
+        held = self._locks.get((table_id, slot))
+        if held is None or held[0] != src:
+            holder = "nobody" if held is None else f"compute {held[0]}"
+            self._violate(
+                WRITE_WITHOUT_LOCK,
+                f"vote_write to table {table_id} slot {slot} by compute "
+                f"{src} while the lock is held by {holder}",
+                compute=src,
+                node=node.node_id,
+                verb="vote_write",
+            )
 
     def _before_cas(self, node, src: int, args: Tuple) -> None:
         table_id, slot, expected, desired = args

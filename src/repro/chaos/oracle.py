@@ -84,7 +84,9 @@ def _eligible_compute_nodes(cluster) -> List:
 def check_cluster(cluster, history: Optional[list] = None) -> List[OracleViolation]:
     """Run every invariant against a quiesced cluster."""
     violations: List[OracleViolation] = []
-    pill = cluster.config.recovery_mode == "pill"
+    # Owner-attributable lock words (PILL proper, and vote1pc's PILL
+    # words): a dead owner's lock is a stealable stray, not a leak.
+    pill = cluster.config.recovery_mode in ("pill", "vote")
     failed = cluster.id_allocator.failed
     recycled = set(cluster.id_allocator.recycled_ids)
 

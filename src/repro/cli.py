@@ -11,6 +11,8 @@ Usage (also via ``python -m repro``)::
     python -m repro perf --bench --baseline benchmarks/results/BENCH_KERNEL.json
     python -m repro load --sweep --workload smallbank --html curves.html
     python -m repro load --offered 300000 --protocols ford --oracle --progress
+    python -m repro contention --protocols lotus vote1pc --thetas 1.5
+    python -m repro contention --baseline benchmarks/results/BENCH_CONTENTION.json
     python -m repro obs-report --compare BENCH_LOAD.json fresh.json
 
 Every command prints the same tables/series the benchmark harness
@@ -33,7 +35,7 @@ from repro.workloads import MicroBenchmark, SmallBank, Tatp, TpcC
 
 __all__ = ["main", "build_parser"]
 
-PROTOCOLS = ("pandora", "baseline", "ford", "tradlog")
+PROTOCOLS = ("pandora", "baseline", "ford", "tradlog", "lotus", "vote1pc")
 
 
 def _add_sanitize_flag(parser) -> None:
@@ -357,6 +359,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="write an HTML report with SVG curve plots to PATH",
     )
     load.add_argument("--seed", type=int, default=42)
+
+    from repro.load.contention import CONTENTION_PROTOCOLS, CONTENTION_THETAS
+
+    contention = sub.add_parser(
+        "contention",
+        help="hot-key contention sweep: the 1k-key RMW microbenchmark "
+             "at several Zipf skews across the full protocol zoo",
+    )
+    contention.add_argument(
+        "--protocols", nargs="+", default=list(CONTENTION_PROTOCOLS),
+        choices=PROTOCOLS, metavar="PROTO",
+        help="protocols to sweep "
+             f"(default: {' '.join(CONTENTION_PROTOCOLS)})",
+    )
+    contention.add_argument(
+        "--thetas", type=float, nargs="+",
+        default=list(CONTENTION_THETAS), metavar="S",
+        help="Zipf skews over the hot keyspace "
+             f"(default: {' '.join(str(t) for t in CONTENTION_THETAS)})",
+    )
+    contention.add_argument(
+        "--offered", type=float, nargs="+",
+        default=[150_000.0, 600_000.0], metavar="TPS",
+        help="offered rates per (protocol, theta) pair "
+             "(default: 150000 600000 — one sub-saturation point and "
+             "one past the knee)",
+    )
+    contention.add_argument("--duration-ms", type=float, default=5.0)
+    contention.add_argument(
+        "--users", type=int, default=64,
+        help="user population size (default 64)",
+    )
+    contention.add_argument(
+        "--progress", action="store_true",
+        help="print per-point progress lines during the sweep",
+    )
+    contention.add_argument(
+        "--snapshot", metavar="NAME", default=None,
+        help="write benchmarks/results/BENCH_<NAME>.json with the curves",
+    )
+    contention.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="compare against a committed BENCH_CONTENTION.json and "
+             "exit 1 on regression (throughput floor, p99/abort-rate "
+             "ceilings, exact commits)",
+    )
+    contention.add_argument(
+        "--tolerance", type=float, default=None,
+        help="fractional drift allowed vs the baseline "
+             "(default: the baseline's own tolerance field)",
+    )
+    contention.add_argument(
+        "--html", metavar="PATH", default=None,
+        help="write an HTML report with SVG curve plots to PATH",
+    )
+    contention.add_argument("--seed", type=int, default=42)
     return parser
 
 
@@ -772,6 +830,67 @@ def _cmd_load(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_contention(args) -> int:
+    from repro.load import (
+        compare_contention_to_baseline,
+        contention_payload,
+        format_contention,
+        run_contention_sweep,
+    )
+
+    curves = run_contention_sweep(
+        protocols=args.protocols,
+        thetas=args.thetas,
+        grid=args.offered,
+        duration=args.duration_ms * 1e-3,
+        users=args.users,
+        seed=args.seed,
+        progress=print if args.progress else None,
+    )
+    print(format_contention(curves))
+    payload = contention_payload(
+        curves,
+        tolerance=args.tolerance if args.tolerance is not None else 0.25,
+    )
+    if args.snapshot:
+        from repro.bench.report import write_bench_snapshot
+
+        write_bench_snapshot(args.snapshot, payload)
+    if args.html:
+        from repro.obs.report import render_load_html
+
+        try:
+            with open(args.html, "w") as handle:
+                handle.write(
+                    render_load_html(payload, title="Hot-key contention sweep")
+                )
+        except OSError as error:
+            raise SystemExit(
+                f"cannot write HTML report to {args.html!r}: {error}"
+            )
+        print(f"html report -> {args.html}")
+    if args.baseline:
+        import json as json_module
+
+        try:
+            with open(args.baseline) as handle:
+                baseline = json_module.load(handle)
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"cannot read baseline {args.baseline!r}: {error}"
+            )
+        failures = compare_contention_to_baseline(
+            payload, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            print("contention regression vs baseline:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"contention: within tolerance of {args.baseline}")
+    return 0
+
+
 def _cmd_obs_report(args) -> int:
     from repro.obs.report import (
         check_log_write_claim,
@@ -844,6 +963,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "perf": _cmd_perf,
         "obs-report": _cmd_obs_report,
         "load": _cmd_load,
+        "contention": _cmd_contention,
     }
     return handlers[args.command](args)
 

@@ -21,9 +21,12 @@ from repro.memory.node import MemoryNode
 from repro.obs import NOOP_OBS
 from repro.protocol.coordinator import Coordinator, CoordinatorConfig, CoordinatorStats
 from repro.protocol.ford import ford_factory
+from repro.protocol.legacy import legacy_factory
+from repro.protocol.lotus import lotus_factory
 from repro.protocol.pandora import pandora_factory
 from repro.protocol.tradlog import tradlog_factory
 from repro.protocol.types import BugFlags
+from repro.protocol.vote1pc import vote1pc_factory
 from repro.rdma.network import Network
 from repro.rdma.verbs import Verbs
 from repro.recovery.distributed_fd import DistributedFailureDetector
@@ -86,7 +89,11 @@ class Cluster:
         self.injector = FaultInjector(self.sim, random.Random(config.seed + 3))
 
         # Failure detector (+ coordinator-id allocation).
-        self.id_allocator = IdAllocator()
+        self.id_allocator = IdAllocator(first_id=config.first_coord_id)
+        # Cor4 also pushes the failed-ids bitset to LOTUS lock servers:
+        # queue advances consult it to skip dead waiters' tickets.
+        for memory in self.memory_nodes.values():
+            memory.failed_ids = self.id_allocator.failed
         if config.distributed_fd:
             self.fd: FailureDetector = DistributedFailureDetector(
                 self.sim,
@@ -199,10 +206,17 @@ class Cluster:
 
     def _engine_factory(self):
         config = self.config
+        if config.legacy_engine:
+            # Frozen pre-refactor engine; parity-suite diff build only.
+            return legacy_factory(config.protocol, config.bugs)
         if config.protocol == "pandora":
             return pandora_factory(config.bugs)
         if config.protocol == "tradlog":
             return tradlog_factory(config.bugs)
+        if config.protocol == "lotus":
+            return lotus_factory(config.bugs)
+        if config.protocol == "vote1pc":
+            return vote1pc_factory(config.bugs)
         if config.protocol == "ford":
             bugs = config.bugs if config.bugs is not None else BugFlags.published()
             return ford_factory(bugs)

@@ -5,12 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.protocol.locks import MAX_COORD_ID
 from repro.protocol.types import BugFlags
 from repro.rdma.network import NetworkConfig
 
 __all__ = ["ClusterConfig"]
 
-_PROTOCOLS = ("pandora", "ford", "baseline", "tradlog")
+_PROTOCOLS = ("pandora", "ford", "baseline", "tradlog", "lotus", "vote1pc")
 
 
 @dataclass
@@ -30,9 +31,16 @@ class ClusterConfig:
     partitions: int = 64
 
     # Protocol: 'pandora', 'ford' (published bugs), 'baseline'
-    # (FORD online component, bugs fixed, scan recovery), 'tradlog'.
+    # (FORD online component, bugs fixed, scan recovery), 'tradlog',
+    # 'lotus' (FAA ticket-queue locks), 'vote1pc' (logless 1PC).
     protocol: str = "pandora"
     bugs: Optional[BugFlags] = None
+
+    # Run the frozen pre-refactor engine (repro.protocol.legacy)
+    # instead of the strategy-composed one. Exists only so the parity
+    # suite (tests/integration/test_strategy_parity.py) can diff the
+    # two builds bit-identically; pandora/ford/tradlog only.
+    legacy_engine: bool = False
 
     # Persistence (§7): 'dram' assumes battery-backed DRAM (no flush on
     # the critical path); 'nvm-flush' models FORD's selective one-sided
@@ -87,6 +95,12 @@ class ClusterConfig:
     # first access to an object.
     warm_address_cache: bool = True
 
+    # First coordinator id the allocator hands out (ids below count as
+    # consumed). Default 0; boundary tests raise it to place the
+    # initial wave hard against MAX_COORD_ID = 0xFFFE and prove the
+    # anonymous-owner sentinel is never minted into a lock word.
+    first_coord_id: int = 0
+
     # Determinism.
     seed: int = 42
 
@@ -109,6 +123,22 @@ class ClusterConfig:
             raise ValueError("need at least one compute node")
         if self.coordinators_per_node < 1:
             raise ValueError("need at least one coordinator per node")
+        if not 0 <= self.first_coord_id <= MAX_COORD_ID:
+            raise ValueError(
+                f"first_coord_id {self.first_coord_id} outside 0..{MAX_COORD_ID}"
+            )
+        initial = self.compute_nodes * self.coordinators_per_node
+        if self.first_coord_id + initial > MAX_COORD_ID + 1:
+            # Initial ids are allocated strictly serially, so the first
+            # wave alone must fit in first_coord_id..MAX_COORD_ID —
+            # 0xFFFF is the reserved anonymous-owner sentinel and never
+            # handed out.
+            raise ValueError(
+                f"{initial} initial coordinators starting at id "
+                f"{self.first_coord_id} exceed the id space (max id "
+                f"{MAX_COORD_ID}; 0xFFFF is reserved as the "
+                "anonymous-owner sentinel)"
+            )
         if not 1 <= self.replication_degree <= self.memory_nodes:
             raise ValueError(
                 f"replication degree {self.replication_degree} must be in "
@@ -124,8 +154,13 @@ class ClusterConfig:
 
     @property
     def recovery_mode(self) -> str:
-        if self.protocol == "pandora":
+        if self.protocol in ("pandora", "lotus"):
+            # Lotus ticket words carry PILL owner attribution, and the
+            # conditional CAS-to-0 release doubles as a queue advance,
+            # so PILL log recovery covers it unchanged.
             return "pill"
         if self.protocol == "tradlog":
             return "locklog"
+        if self.protocol == "vote1pc":
+            return "vote"
         return "scan"

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
-from repro.protocol.locks import MAX_COORD_ID
+from repro.protocol.locks import ANONYMOUS_OWNER
 from repro.sim import Event, Simulator
 from repro.util.bitset import Bitset
 
@@ -40,8 +40,11 @@ class ComputeNode:
         self.fenced = False
         self.coordinators: List = []
         # PILL state: coordinator-ids of every recovered-failed
-        # coordinator; O(1) membership via a 64K bitset.
-        self.failed_ids = Bitset(MAX_COORD_ID + 1)
+        # coordinator; O(1) membership via a 64K bitset. Sized over the
+        # full owner-field range (like IdAllocator.failed, which
+        # update_from requires capacity-matching) so any `owner_of`
+        # result — including the anonymous sentinel — probes in-range.
+        self.failed_ids = Bitset(ANONYMOUS_OWNER + 1)
         self._resume_event: Optional[Event] = None
         self._heartbeat_process = None
         self.crash_time: Optional[float] = None

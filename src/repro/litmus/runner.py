@@ -136,6 +136,8 @@ class LitmusRunner:
         retry_writers: bool = True,
         sanitize: bool = False,
         legacy_kernel: bool = False,
+        legacy_engine: bool = False,
+        first_coord_id: int = 0,
     ) -> None:
         self.spec = spec
         # One-shot writers match Figure 5 exactly (each litmus txn runs
@@ -165,6 +167,8 @@ class LitmusRunner:
             abandon_on_conflict=not retry_writers,
             sanitize=sanitize,
             legacy_kernel=legacy_kernel,
+            legacy_engine=legacy_engine,
+            first_coord_id=first_coord_id,
         )
         config.network.jitter = jitter
         config.network.loss_probability = loss_probability

@@ -22,6 +22,9 @@ population would:
 * :mod:`repro.load.sweep` — walks offered load across a grid and emits
   latency-vs-offered-load curves per protocol, with ``BENCH_LOAD.json``
   snapshots and baseline gating for CI.
+* :mod:`repro.load.contention` — the hot-key contention sweep: the
+  paper's 1 000-key RMW microbenchmark at three Zipf skews across the
+  full protocol zoo, with ``BENCH_CONTENTION.json`` gating.
 """
 
 from repro.load.arrivals import (
@@ -39,6 +42,18 @@ from repro.load.slo import (
     OrderIdMonitor,
     SloMonitor,
     WorkloadInvariant,
+)
+from repro.load.contention import (
+    CONTENTION_PROTOCOLS,
+    CONTENTION_SCHEMA,
+    CONTENTION_THETAS,
+    CONTENTION_TOLERANCE,
+    ContentionCurve,
+    compare_contention_to_baseline,
+    contention_payload,
+    contention_workload,
+    format_contention,
+    run_contention_sweep,
 )
 from repro.load.sweep import (
     DEFAULT_MULTIPLIERS,
@@ -82,4 +97,14 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "DEFAULT_PROTOCOLS",
     "DEFAULT_MULTIPLIERS",
+    "ContentionCurve",
+    "contention_workload",
+    "run_contention_sweep",
+    "contention_payload",
+    "compare_contention_to_baseline",
+    "format_contention",
+    "CONTENTION_SCHEMA",
+    "CONTENTION_TOLERANCE",
+    "CONTENTION_PROTOCOLS",
+    "CONTENTION_THETAS",
 ]

@@ -1,0 +1,245 @@
+"""Hot-key contention sweep across the protocol zoo (Figs 13-14 axis).
+
+Every lock strategy in the zoo behaves identically when transactions
+never collide; the differences the strategy refactor exists to expose —
+CAS retry storms vs FAA ticket fairness, logged vs logless commit under
+abort pressure — only show up when many coordinators hammer the same
+few keys.  This sweep drives the paper's hot-object microbenchmark
+(RMW transactions over a 1 000-key table) through the open-loop engine
+at three Zipf skews per protocol and reports abort-rate and CO-corrected
+p99 against offered load.
+
+``contention_payload`` serialises the sweep into the committed
+``BENCH_CONTENTION.json`` snapshot and ``compare_contention_to_baseline``
+gates a fresh run against it exactly like the BENCH_KERNEL / BENCH_LOAD
+gates: achieved throughput has a tolerance floor, CO-corrected p99 a
+tolerance ceiling, abort rate a tolerance ceiling, and commit counts
+must reproduce exactly (seeded virtual time — drift means simulated
+behaviour changed and the baseline must be regenerated deliberately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.load.engine import LoadResult
+from repro.load.sweep import LoadCurve, format_curves, run_load_point
+from repro.workloads import MicroBenchmark
+
+__all__ = [
+    "CONTENTION_SCHEMA",
+    "CONTENTION_TOLERANCE",
+    "CONTENTION_PROTOCOLS",
+    "CONTENTION_THETAS",
+    "HOT_KEYS",
+    "ContentionCurve",
+    "contention_workload",
+    "run_contention_sweep",
+    "contention_payload",
+    "compare_contention_to_baseline",
+    "format_contention",
+]
+
+#: Snapshot format marker (bump on incompatible payload changes).
+CONTENTION_SCHEMA = "contention/1"
+
+#: Same rationale as the kernel-perf and load gates.
+CONTENTION_TOLERANCE = 0.25
+
+#: The full zoo: every strategy triple the engine can run.
+CONTENTION_PROTOCOLS = ("pandora", "ford", "tradlog", "lotus", "vote1pc")
+
+#: Zipf skews over the hot keyspace: YCSB-standard 0.99, then two
+#: progressively hotter tails where a handful of keys absorb most of
+#: the traffic and lock-queue behaviour dominates.
+CONTENTION_THETAS = (0.99, 1.2, 1.5)
+
+#: The paper's small hot set (Fig 13): 1 000 keys.
+HOT_KEYS = 1_000
+
+
+@dataclass
+class ContentionCurve:
+    """One (protocol, zipf-theta) abort/latency-vs-offered-load curve."""
+
+    protocol: str
+    theta: float
+    workload: str = "microbench"
+    arrivals: str = "poisson"
+    points: List[LoadResult] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return f"{self.protocol} s={self.theta:g}"
+
+
+def contention_workload(theta: float, hot_keys: int = HOT_KEYS) -> MicroBenchmark:
+    """The hot-object microbenchmark at one skew.
+
+    RMW transactions (read-for-update, then write) hold each lock across
+    a round trip, so two transactions sampling the same hot key genuinely
+    collide — blind writes would pipeline past each other and hide the
+    lock strategy entirely.
+    """
+    return MicroBenchmark(
+        num_keys=hot_keys,
+        write_ratio=0.5,
+        ops_per_txn=2,
+        zipf_theta=theta,
+        rmw=True,
+    )
+
+
+def run_contention_sweep(
+    protocols: Sequence[str] = CONTENTION_PROTOCOLS,
+    thetas: Sequence[float] = CONTENTION_THETAS,
+    grid: Sequence[float] = (150_000.0, 600_000.0),
+    duration: float = 5e-3,
+    users: int = 64,
+    seed: int = 42,
+    progress: Optional[Callable[[str], None]] = None,
+    **point_kwargs,
+) -> List[ContentionCurve]:
+    """Walk the offered grid for every (protocol, theta) pair.
+
+    The grid is fixed rather than capacity-derived so the committed
+    baseline is stable: one point the cluster keeps up with and one past
+    the saturation knee, where queueing on the hot keys separates the
+    lock strategies.
+    """
+    curves: List[ContentionCurve] = []
+    for theta in thetas:
+        factory = lambda theta=theta: contention_workload(theta)  # noqa: E731
+        for protocol in protocols:
+            curve = ContentionCurve(protocol=protocol, theta=theta)
+            for offered in grid:
+                point = run_load_point(
+                    protocol,
+                    factory,
+                    offered,
+                    duration=duration,
+                    users=users,
+                    seed=seed,
+                    **point_kwargs,
+                )
+                curve.workload = point.workload
+                curve.arrivals = point.arrivals
+                curve.points.append(point)
+                if progress is not None:
+                    progress(
+                        f"[contention] {curve.label:16s} "
+                        f"offered={offered:10,.0f} "
+                        f"achieved={point.achieved_tps:10,.0f} "
+                        f"abort%={100 * point.abort_rate:5.1f} "
+                        f"co_p99={point.co.percentile(99) * 1e6:9.1f}us"
+                    )
+            curves.append(curve)
+    return curves
+
+
+def contention_payload(
+    curves: Sequence[ContentionCurve], tolerance: float = CONTENTION_TOLERANCE
+) -> Dict[str, Any]:
+    """The ``BENCH_CONTENTION.json`` payload.
+
+    Curves are keyed by ``"<protocol> s=<theta>"`` with the same point
+    dicts as the load snapshot, so ``render_load_html`` and the
+    ``obs-report --compare`` delta table work on it unchanged.
+    """
+    return {
+        "schema": CONTENTION_SCHEMA,
+        "tolerance": tolerance,
+        "workload": curves[0].workload if curves else "",
+        "arrivals": curves[0].arrivals if curves else "",
+        "hot_keys": HOT_KEYS,
+        "curves": {
+            curve.label: {
+                "protocol": curve.protocol,
+                "theta": curve.theta,
+                "points": [point.summary() for point in curve.points],
+            }
+            for curve in curves
+        },
+    }
+
+
+def compare_contention_to_baseline(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: Optional[float] = None,
+) -> List[str]:
+    """Regression check; returns failure messages (empty = pass).
+
+    Per (protocol, theta, offered) point: achieved throughput has a
+    tolerance floor, CO-corrected p99 and abort rate tolerance ceilings
+    (abort rate with a two-point absolute grace so near-zero baselines
+    do not gate on noise-sized wiggles), and commit counts must match
+    exactly.
+    """
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", CONTENTION_TOLERANCE))
+    failures: List[str] = []
+    current_curves = current.get("curves", {})
+    for label, base_curve in baseline.get("curves", {}).items():
+        curve = current_curves.get(label)
+        if curve is None:
+            failures.append(f"{label}: missing from current sweep")
+            continue
+        current_points = {
+            point["offered_tps"]: point for point in curve.get("points", [])
+        }
+        for base_point in base_curve.get("points", []):
+            offered = base_point["offered_tps"]
+            tag = f"{label} @ {offered:,.0f} tps"
+            point = current_points.get(offered)
+            if point is None:
+                failures.append(f"{tag}: point missing from current sweep")
+                continue
+            floor = base_point["achieved_tps"] * (1.0 - tolerance)
+            if point["achieved_tps"] < floor:
+                failures.append(
+                    f"{tag}: achieved {point['achieved_tps']:,.0f} tps "
+                    f"< floor {floor:,.0f} "
+                    f"(baseline {base_point['achieved_tps']:,.0f}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+            ceiling = base_point["co_p99_us"] * (1.0 + tolerance)
+            if point["co_p99_us"] > ceiling:
+                failures.append(
+                    f"{tag}: co_p99 {point['co_p99_us']:,.1f}us "
+                    f"> ceiling {ceiling:,.1f}us "
+                    f"(baseline {base_point['co_p99_us']:,.1f}us)"
+                )
+            abort_ceiling = (
+                base_point["abort_rate"] * (1.0 + tolerance) + 0.02
+            )
+            if point["abort_rate"] > abort_ceiling:
+                failures.append(
+                    f"{tag}: abort rate {point['abort_rate']:.4f} "
+                    f"> ceiling {abort_ceiling:.4f} "
+                    f"(baseline {base_point['abort_rate']:.4f})"
+                )
+            if point["commits"] != base_point["commits"]:
+                failures.append(
+                    f"{tag}: commit count changed "
+                    f"{base_point['commits']} -> {point['commits']} "
+                    "(seeded behaviour drift; regenerate the baseline "
+                    "deliberately)"
+                )
+    return failures
+
+
+def format_contention(curves: Sequence[ContentionCurve]) -> str:
+    """Terminal rendering: reuse the load-curve tables per (proto, s)."""
+    return format_curves(
+        [
+            LoadCurve(
+                protocol=curve.label,
+                workload=curve.workload,
+                arrivals=curve.arrivals,
+                points=curve.points,
+            )
+            for curve in curves
+        ]
+    )

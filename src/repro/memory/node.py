@@ -36,6 +36,24 @@ LOG_ENTRY_HEADER_BYTES = 32
 LOG_REGION_CAPACITY_BYTES = 32 * 1024
 
 
+class _TicketQueue:
+    """Server-side state of one LOTUS ticket-lock word.
+
+    ``entries`` maps ticket number → waiting coordinator id for every
+    ticket not yet served or cancelled; the head (``serving``) is the
+    current lock holder. The word stored in the lock column is derived
+    from this state (see :func:`repro.protocol.locks.encode_ticket_word`);
+    a drained queue is dropped and the word reverts to 0.
+    """
+
+    __slots__ = ("serving", "next_ticket", "entries")
+
+    def __init__(self) -> None:
+        self.serving = 0
+        self.next_ticket = 0
+        self.entries: Dict[int, int] = {}
+
+
 class Table:
     """Columnar slot storage for one table partition.
 
@@ -250,6 +268,14 @@ class MemoryNode:
         self.log_regions: Dict[int, LogRegion] = {}
         self._revoked: Set[int] = set()
         self.verb_counts: Dict[str, int] = {}
+        # LOTUS lock-server state: ticket queues per (table, slot) and
+        # the Cor4-pushed failed-ids bitset (wired by the cluster
+        # builder) consulted to skip dead waiters on queue advance.
+        self._ticket_queues: Dict[Tuple[int, int], _TicketQueue] = {}
+        self.failed_ids: Optional[Any] = None
+        # vote1pc per-slot shadows (undo image + write-set manifest),
+        # cleared by the same writes that free the lock word.
+        self._vote_shadows: Dict[Tuple[int, int], Tuple] = {}
         self._dispatch = {
             "read_object": self._op_read_object,
             "read_header": self._op_read_header,
@@ -257,6 +283,10 @@ class MemoryNode:
             "cas_lock": self._op_cas_lock,
             "write_lock": self._op_write_lock,
             "write_object": self._op_write_object,
+            "faa_ticket": self._op_faa_ticket,
+            "cancel_ticket": self._op_cancel_ticket,
+            "vote_write": self._op_vote_write,
+            "read_vote": self._op_read_vote,
             "write_value": self._op_write_value,
             "write_log": self._op_write_log,
             "invalidate_log": self._op_invalidate_log,
@@ -293,8 +323,20 @@ class MemoryNode:
         self.alive = False
 
     def restart(self) -> None:
-        """Restart with memory intact (battery-backed / NVM scenario)."""
+        """Restart with memory intact (battery-backed / NVM scenario).
+
+        Object slots and log regions survive (NVM), but the ticket
+        queues and vote shadows are volatile lock-server state and die
+        with the process. Keeping a stale queue across a restart would
+        let the next ``faa_ticket`` re-grant the slot to a waiter whose
+        transaction failed (and resolved) while this node was down —
+        a live-owner lock leak. The re-replication path that calls this
+        zeroes the matching lock words, so dropping the queues keeps
+        word and queue state consistent.
+        """
         self.alive = True
+        self._ticket_queues.clear()
+        self._vote_shadows.clear()
 
     # -- link management ----------------------------------------------------
 
@@ -353,13 +395,39 @@ class MemoryNode:
         locks = self.tables[table_id].locks
         old = locks[slot]
         if old == expected:
+            if desired == 0 and (self._ticket_queues or self._vote_shadows):
+                # A conditional release doubles as a LOTUS queue
+                # advance (dead-holder skip) and clears any vote1pc
+                # shadow; both guards are falsy for CAS-word protocols,
+                # keeping their hot path untouched.
+                if self._release_side_effects(table_id, slot):
+                    return old, 8
             locks[slot] = desired
         return old, 8
 
     def _op_write_lock(self, _src: int, args: Tuple) -> Tuple[Any, int]:
         table_id, slot, word = args
+        if word == 0 and (self._ticket_queues or self._vote_shadows):
+            if self._release_side_effects(table_id, slot):
+                return None, 8
         self.tables[table_id].locks[slot] = word
         return None, 8
+
+    def _release_side_effects(self, table_id: int, slot: int) -> bool:
+        """Shared lock-release semantics for LOTUS / vote1pc words.
+
+        Clears the slot's vote shadow and, when a ticket queue exists,
+        advances it in place of clearing the word. Returns True when
+        the advance already updated the lock word (the caller must not
+        overwrite it).
+        """
+        if self._vote_shadows:
+            self._vote_shadows.pop((table_id, slot), None)
+        queue = self._ticket_queues.get((table_id, slot))
+        if queue is not None:
+            self._ticket_advance(table_id, slot, queue)
+            return True
+        return False
 
     def _op_write_object(self, _src: int, args: Tuple) -> Tuple[Any, int]:
         """In-place update of value + version (+ presence)."""
@@ -374,6 +442,105 @@ class MemoryNode:
         table_id, slot, value = args
         self.tables[table_id].values[slot] = value
         return None, 8
+
+    # LOTUS ticket-queue verbs ---------------------------------------------------
+
+    def _ticket_word(self, table: Table, slot: int, queue: _TicketQueue) -> int:
+        from repro.protocol.locks import encode_ticket_word
+
+        word = encode_ticket_word(
+            queue.entries[queue.serving],
+            queue.serving & 0xFFFF,
+            queue.next_ticket & 0xFFFF,
+        )
+        table.locks[slot] = word
+        return word
+
+    def _ticket_advance(
+        self, table_id: int, slot: int, queue: _TicketQueue
+    ) -> None:
+        """Grant the lock to the next *live, uncancelled* ticket.
+
+        Dead waiters are skipped via the Cor4-pushed failed-ids bitset
+        — the queue-aware half of PILL recovery: a coordinator that
+        died while queued must never be granted the lock, or the slot
+        would deadlock until someone steals it. A drained queue is
+        dropped and the word reverts to 0 (the universal free word).
+        """
+        queue.entries.pop(queue.serving, None)
+        queue.serving += 1
+        failed = self.failed_ids
+        while queue.serving < queue.next_ticket:
+            coord = queue.entries.get(queue.serving)
+            if coord is None:
+                # Cancelled ticket: nothing to grant.
+                queue.serving += 1
+                continue
+            if failed is not None and coord in failed:
+                # Dead waiter: skip its ticket.
+                queue.entries.pop(queue.serving)
+                queue.serving += 1
+                continue
+            break
+        table = self.tables[table_id]
+        if queue.serving >= queue.next_ticket:
+            del self._ticket_queues[(table_id, slot)]
+            table.locks[slot] = 0
+        else:
+            self._ticket_word(table, slot, queue)
+
+    def _op_faa_ticket(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        """FAA enqueue: take a ticket, maybe get granted immediately."""
+        table_id, slot, coord_id = args
+        table = self.tables[table_id]
+        key = (table_id, slot)
+        queue = self._ticket_queues.get(key)
+        if queue is None:
+            word = table.locks[slot]
+            if word != 0:
+                # Foreign (CAS-format) lock word: refuse the enqueue.
+                return (-1, word), 16
+            queue = _TicketQueue()
+            self._ticket_queues[key] = queue
+        ticket = queue.next_ticket
+        queue.next_ticket += 1
+        queue.entries[ticket] = coord_id
+        word = self._ticket_word(table, slot, queue)
+        return (ticket, word), 16
+
+    def _op_cancel_ticket(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        """Withdraw a ticket (bounded-wait abort path)."""
+        table_id, slot, ticket = args
+        queue = self._ticket_queues.get((table_id, slot))
+        if queue is None:
+            return False, 8
+        if ticket == queue.serving:
+            # The canceller holds the lock: cancel is a release.
+            self._ticket_advance(table_id, slot, queue)
+        else:
+            queue.entries.pop(ticket, None)
+        return True, 8
+
+    # vote1pc verbs --------------------------------------------------------------
+
+    def _op_vote_write(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        """Apply the new image and store the per-slot vote shadow."""
+        table_id, slot, version, value, present, shadow = args
+        table = self.tables[table_id]
+        table.versions[slot] = version
+        table.values[slot] = value
+        table.present[slot] = present
+        self._vote_shadows[(table_id, slot)] = shadow
+        return None, 8
+
+    def _op_read_vote(self, _src: int, args: Tuple) -> Tuple[Any, int]:
+        table_id, slot = args
+        shadow = self._vote_shadows.get((table_id, slot))
+        if shadow is None:
+            return None, 8
+        value_size = self.value_sizes.get(table_id, 8)
+        size = OBJECT_HEADER_BYTES + value_size + 16 * len(shadow[5])
+        return shadow, size
 
     # Log verbs ----------------------------------------------------------------
 

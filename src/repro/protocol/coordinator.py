@@ -31,6 +31,9 @@ class CoordinatorStats:
         self.aborts = 0
         self.attempts = 0
         self.locks_stolen = 0
+        # Bounded steal-CAS retries after losing to *another* stray
+        # word (stray-to-stray races during mass failover).
+        self.steal_retries = 0
         self.abort_reasons: Counter = Counter()
         self.latency = Histogram(min_value=1e-7, max_value=10.0)
 
@@ -40,6 +43,7 @@ class CoordinatorStats:
         self.aborts += other.aborts
         self.attempts += other.attempts
         self.locks_stolen += other.locks_stolen
+        self.steal_retries += other.steal_retries
         self.abort_reasons.update(other.abort_reasons)
         self.latency.merge(other.latency)
 

@@ -17,6 +17,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.protocol.base import ProtocolEngine
+from repro.protocol.strategies import (
+    AnonymousCasLockStrategy,
+    LateUpgradeLoggedCommitStrategy,
+    PerObjectLogStrategy,
+)
 from repro.protocol.types import BugFlags
 
 __all__ = ["FordProtocol"]
@@ -26,11 +31,9 @@ class FordProtocol(ProtocolEngine):
     """FORD: anonymous locks + per-object undo logging."""
 
     name = "ford"
-    pill_enabled = False
-    coalesced_logging = False
-    per_object_logging = True
-    pre_lock_logging = False
-    late_upgrade_check = True
+    lock_strategy = AnonymousCasLockStrategy
+    log_strategy = PerObjectLogStrategy
+    commit_strategy = LateUpgradeLoggedCommitStrategy
 
     def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
         super().__init__(

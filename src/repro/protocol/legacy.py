@@ -1,28 +1,33 @@
-"""The shared transaction engine (execution / validation / commit-abort).
+"""Frozen pre-strategy-refactor engine — the parity reference.
 
-FORD, Pandora, the "traditional logging" variant, and the newer zoo
-members (LOTUS ticket queueing, logless vote-1PC) all run the same
+This is the flag-based transaction engine exactly as it stood before
+lock acquisition / undo logging / commit were factored into pluggable
+strategy objects (``repro.protocol.strategies``). It exists for one
+purpose: `tests/integration/test_strategy_parity.py` runs pandora /
+ford / tradlog through BOTH engines and asserts bit-identical cluster
+fingerprints, processed-event counts, and verb totals — the same
+pinning discipline `ClusterConfig.legacy_kernel` provides for the
+scheduler rewrite. Select it with ``ClusterConfig.legacy_engine``.
+
+Deliberately carries the same two lock-word bugfixes as the refactored
+engine (steal-CAS retry against another dead owner; the 0xFFFF
+coordinator-id cap lives in ``repro.protocol.locks``), so the parity
+diff isolates the *refactor*, not the bugfixes.
+
+Do not add features here; it is a snapshot, not a second engine.
+
+FORD, Pandora, and the "traditional logging" variant all run the same
 optimistic skeleton (§2.3): eager-lock the write-set during execution,
-validate the read-set, then commit or abort. The variants differ along
-three pluggable axes (see :mod:`repro.protocol.strategies`):
+validate the read-set, then commit or abort. The variants differ in
 
-* the **lock strategy** — the lock-word format and acquisition flow
-  (anonymous CAS vs PILL owner-id CAS-steal, §3.1.2, vs LOTUS FAA
-  ticket queues),
-* the **log strategy** — undo-record placement and timing
-  (per-object-to-object-replicas vs a single coalesced record to f+1
-  fixed log servers, §3.1.4; the traditional variant adds a pre-lock
-  lock-intent round trip; vote1pc logs nothing),
-* the **commit strategy** — what an apply write carries and when the
-  upgrade re-check runs (logged commit, FORD's late-upgrade variant,
-  or the logless vote write),
-
-plus the six **bug flags** of Table 1, which reproduce the published
-FORD behaviour for the litmus framework and stay on the engine.
-
-The frozen pre-refactor engine lives in :mod:`repro.protocol.legacy`;
-``tests/integration/test_strategy_parity.py`` pins the strategy
-recomposition to it bit-identically.
+* the **lock word** (anonymous vs PILL owner-id encoding),
+* what happens on a **lock conflict** (abort vs consult failed-ids and
+  steal, §3.1.2),
+* the **undo-logging** strategy (per-object-to-object-replicas vs a
+  single coalesced record to f+1 fixed log servers, §3.1.4; the
+  traditional variant adds a pre-lock log round trip), and
+* the six **bug flags** of Table 1, which reproduce the published FORD
+  behaviour for the litmus framework.
 
 Application logic is a generator function ``logic(tx)`` that drives a
 :class:`Txn` handle (`yield from tx.read(...)`, ``tx.write(...)``); the
@@ -36,11 +41,12 @@ from typing import Any, Dict, Generator, Hashable, List, Optional, Tuple
 
 from repro.memory.node import LogRecord
 from repro.obs import NULL_TXN_TRACE
-from repro.protocol.locks import is_locked
-from repro.protocol.strategies import (
-    AnonymousCasLockStrategy,
-    LoggedCommitStrategy,
-    NoLogStrategy,
+from repro.protocol.locks import (
+    ANONYMOUS_OWNER,
+    encode_anonymous_lock,
+    encode_lock,
+    is_locked,
+    owner_of,
 )
 from repro.protocol.types import (
     OP_DELETE,
@@ -56,10 +62,21 @@ from repro.protocol.types import (
 from repro.rdma.errors import LinkRevokedError, RdmaError
 from repro.sim import Event
 
-__all__ = ["Txn", "ProtocolEngine"]
+__all__ = [
+    "LegacyTxn",
+    "LegacyProtocolEngine",
+    "LegacyPandoraProtocol",
+    "LegacyFordProtocol",
+    "LegacyTradLogProtocol",
+    "legacy_factory",
+]
+
+# Bound on steal-CAS retries when the word keeps resolving to yet
+# another dead owner (stray-to-stray races during mass failover).
+STEAL_RETRY_LIMIT = 4
 
 
-class Txn:
+class LegacyTxn:
     """Per-attempt transaction context handed to application logic."""
 
     __slots__ = (
@@ -76,7 +93,7 @@ class Txn:
         "trace",
     )
 
-    def __init__(self, engine: "ProtocolEngine", txn_id: int) -> None:
+    def __init__(self, engine: "LegacyProtocolEngine", txn_id: int) -> None:
         self.engine = engine
         self.txn_id = txn_id
         self.read_set: Dict[Tuple[int, int], ReadEntry] = {}
@@ -275,16 +292,23 @@ class Txn:
         return self.lock_procs[intent._proc_index]  # type: ignore[attr-defined]
 
 
-class ProtocolEngine:
-    """Shared OCC engine; variants plug in the strategy triple below."""
+class LegacyProtocolEngine:
+    """Shared OCC engine; variants set the class attributes below."""
 
     name = "base"
-    # The strategy triple: lock acquisition x undo logging x commit.
-    # Defaults are the all-features-off point (anonymous CAS words, no
-    # logging, plain logged commit with the early upgrade check).
-    lock_strategy = AnonymousCasLockStrategy
-    log_strategy = NoLogStrategy
-    commit_strategy = LoggedCommitStrategy
+    # PILL: embed the coordinator id in lock words and allow stealing.
+    pill_enabled = False
+    # Pandora: one coalesced log record to the f+1 fixed log servers.
+    coalesced_logging = False
+    # FORD: one undo-log record per object to that object's replicas.
+    per_object_logging = False
+    # Traditional scheme: an extra lock-log round trip before each CAS.
+    pre_lock_logging = False
+    # FORD defers the read-then-write version re-check to validation
+    # (it validates "all objects in its read-set", §2.3) — i.e. *after*
+    # undo logs were written. Pandora enforces the check at lock time,
+    # before anything is logged (lock-to-log order, §3.1.5).
+    late_upgrade_check = False
 
     def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
         self.coordinator = coordinator
@@ -295,12 +319,9 @@ class ProtocolEngine:
         self.coord_id = coordinator.coord_id
         self.obs = coordinator.obs
         self.bugs = bugs if bugs is not None else BugFlags.fixed()
-        self.lock = self.lock_strategy(self)
-        self.log = self.log_strategy(self)
-        self.commit = self.commit_strategy(self)
         self._lock_tag = 0
         # The attempt currently in flight (used by interrupt recovery).
-        self.current_tx: Optional[Txn] = None
+        self.current_tx: Optional[LegacyTxn] = None
         # §7 persistence: chase commit writes with a small read per
         # touched node to flush the RNIC cache into NVM before acking.
         self.nvm_flush = getattr(coordinator.config, "nvm_flush", False)
@@ -310,37 +331,22 @@ class ProtocolEngine:
         self._warm_addresses = getattr(coordinator.config, "warm_address_cache", True)
         self._address_cache: set = set()
 
-    # -- variant hooks (delegating to the strategy triple) -------------------
-
-    # Back-compat boolean views of the strategy triple; external code
-    # (tests, analysis overlays) reads these like the old class flags.
-    @property
-    def pill_enabled(self) -> bool:
-        return self.lock.pill
-
-    @property
-    def coalesced_logging(self) -> bool:
-        return self.log.coalesced
-
-    @property
-    def per_object_logging(self) -> bool:
-        return self.log.per_object
-
-    @property
-    def pre_lock_logging(self) -> bool:
-        return self.log.pre_lock_intent
-
-    @property
-    def late_upgrade_check(self) -> bool:
-        return self.commit.late_upgrade
+    # -- variant hooks -------------------------------------------------------
 
     def _lock_word(self) -> int:
         self._lock_tag = (self._lock_tag + 1) & 0xFFFFFFFF
-        return self.lock.lock_word(self._lock_tag)
+        if self.pill_enabled:
+            return encode_lock(self.coord_id, self._lock_tag)
+        return encode_anonymous_lock(self._lock_tag)
 
     def _is_stray(self, word: int) -> bool:
         """PILL check: is this lock owned by a recovered-failed coordinator?"""
-        return self.lock.is_stray(word)
+        if not self.pill_enabled or not is_locked(word):
+            return False
+        owner = owner_of(word)
+        if owner == ANONYMOUS_OWNER:
+            return False
+        return owner in self.coordinator.node.failed_ids
 
     # -- fault hooks -----------------------------------------------------------
 
@@ -357,7 +363,7 @@ class ProtocolEngine:
         self, logic, txn_id: int, attempt: int = 1
     ) -> Generator[Event, Any, TxnOutcome]:
         """Execute one attempt of *logic*; returns a TxnOutcome."""
-        tx = Txn(self, txn_id)
+        tx = LegacyTxn(self, txn_id)
         self.current_tx = tx
         trace = self.obs.txn_begin(
             self.name,
@@ -480,7 +486,7 @@ class ProtocolEngine:
         self._address_cache.add((table_id, slot))
 
     def _execute_read(
-        self, tx: Txn, table_id: int, key: Hashable, slot: int
+        self, tx: LegacyTxn, table_id: int, key: Hashable, slot: int
     ) -> Generator[Event, Any, ReadEntry]:
         primary = self.placement.primary(table_id, slot)
         tx.trace.focus("execute")
@@ -507,7 +513,7 @@ class ProtocolEngine:
         return entry
 
     def _execute_read_batch(
-        self, tx: Txn, table_id: int, to_fetch
+        self, tx: LegacyTxn, table_id: int, to_fetch
     ) -> Generator[Event, Any, List]:
         """Post many reads together; one round trip per memory node."""
         tx.trace.focus("execute")
@@ -537,7 +543,7 @@ class ProtocolEngine:
             results.append((index, value if present else None))
         return results
 
-    def _acquire(self, tx: Txn, intent: WriteIntent) -> Generator[Event, Any, None]:
+    def _acquire(self, tx: LegacyTxn, intent: WriteIntent) -> Generator[Event, Any, None]:
         """Lock + read one write-set object (runs as a subprocess).
 
         Never raises: the outcome lands in ``intent.lock_result`` and
@@ -549,12 +555,114 @@ class ProtocolEngine:
             intent.lock_result = (False, AbortReason.LINK_REVOKED)
             intent.lock_error = error  # type: ignore[attr-defined]
 
-    def _acquire_inner(self, tx: Txn, intent: WriteIntent) -> Generator[Event, Any, None]:
-        # The flow itself lives on the lock strategy (CAS word vs
-        # ticket queue); mutation-harness engines override this hook.
-        yield from self.lock.acquire(tx, intent)
+    def _acquire_inner(self, tx: LegacyTxn, intent: WriteIntent) -> Generator[Event, Any, None]:
+        table_id, slot = intent.table_id, intent.slot
+        primary = self.placement.primary(table_id, slot)
+        tx.trace.focus("lock")
+        yield from self._resolve_address(table_id, slot, primary)
+        desired = self._lock_word()
 
-    def _lock_barrier(self, tx: Txn) -> Generator[Event, Any, None]:
+        if self.pre_lock_logging:
+            # Traditional scheme: record lock ownership *before* taking
+            # the lock, costing one full extra round trip (§6.1).
+            tx.trace.focus("log")
+            yield from self._write_lock_log(intent, desired)
+
+        posted_speculatively = False
+        if (
+            self.per_object_logging
+            and self.bugs.log_without_lock
+            and intent.expected_version is not None
+        ):
+            # BUG (Table 1, "Logging without locking"): in a corner
+            # case FORD posts the undo log — built from the earlier
+            # read's image — before the CAS outcome is known.
+            self._post_object_log(tx, intent, speculative=True)
+            posted_speculatively = True
+
+        tx.trace.focus("lock")
+        cas_event = self.verbs.cas_lock(primary, table_id, slot, 0, desired)
+        read_event = self.verbs.read_object(primary, table_id, slot)
+        checkpoint = self._cp("lock_posted")
+        if checkpoint is not None:
+            yield checkpoint
+        old_word = yield cas_event
+        lock, version, present, value = yield read_event
+
+        if old_word != 0:
+            if self._is_stray(old_word):
+                # PILL steal: the owner is a recovered-failed
+                # coordinator; a second CAS takes the lock over (§3.1.2).
+                tx.trace.lock_event("steal", table_id, slot, self.sim.now)
+                tx.trace.focus("lock")
+                second = yield self.verbs.cas_lock(
+                    primary, table_id, slot, old_word, desired
+                )
+                retries = 0
+                while (
+                    second != old_word
+                    and self._is_stray(second)
+                    and retries < STEAL_RETRY_LIMIT
+                ):
+                    # Stray-to-stray race (mass failover): the word we
+                    # lost to belongs to *another* dead coordinator —
+                    # aborting here would leave the lock stranded until
+                    # some later txn retries the whole attempt. Retry
+                    # the steal against the new stray word instead.
+                    retries += 1
+                    self.coordinator.stats.steal_retries += 1
+                    tx.trace.lock_event("steal_retry", table_id, slot, self.sim.now)
+                    tx.trace.focus("lock")
+                    old_word = second
+                    second = yield self.verbs.cas_lock(
+                        primary, table_id, slot, old_word, desired
+                    )
+                if second != old_word:
+                    tx.trace.lock_event("steal_lost", table_id, slot, self.sim.now)
+                    intent.lock_result = (False, AbortReason.LOCK_CONFLICT)
+                    return
+                self.coordinator.stats.locks_stolen += 1
+                tx.trace.focus("lock")
+                lock, version, present, value = yield self.verbs.read_object(
+                    primary, table_id, slot
+                )
+            else:
+                tx.trace.lock_event("conflict", table_id, slot, self.sim.now)
+                intent.lock_result = (False, AbortReason.LOCK_CONFLICT)
+                return
+
+        intent.locked = True
+        intent.lock_node = primary
+        intent.old_version = version
+        intent.old_value = value
+        intent.old_present = present
+        tx.trace.lock_event("acquired", table_id, slot, self.sim.now)
+        checkpoint = self._cp("locked")
+        if checkpoint is not None:
+            yield checkpoint
+
+        if (
+            intent.expected_version is not None
+            and version != intent.expected_version
+            and not self.late_upgrade_check
+        ):
+            # Read-then-write upgrade raced with another writer. FORD
+            # defers this abort to validation (after logging).
+            intent.lock_result = (False, AbortReason.UPGRADE_VERSION)
+            return
+        if intent.kind == OP_INSERT and present:
+            intent.lock_result = (False, AbortReason.DUPLICATE_KEY)
+            return
+        if intent.kind == OP_DELETE and not present:
+            intent.lock_result = (False, AbortReason.NOT_FOUND)
+            return
+
+        if self.per_object_logging and not posted_speculatively:
+            if not (self.bugs.missing_insert_log and intent.kind == OP_INSERT):
+                self._post_object_log(tx, intent)
+        intent.lock_result = (True, "")
+
+    def _lock_barrier(self, tx: LegacyTxn) -> Generator[Event, Any, None]:
         """Wait for every lock subprocess; abort on any failure."""
         if tx.lock_procs:
             pending = [proc for proc in tx.lock_procs if not proc.triggered]
@@ -573,10 +681,43 @@ class ProtocolEngine:
         return self.catalog.tables[table_id].value_size
 
     def _post_object_log(
-        self, tx: Txn, intent: WriteIntent, speculative: bool = False
+        self, tx: LegacyTxn, intent: WriteIntent, speculative: bool = False
     ) -> None:
-        """FORD-style per-object undo log (delegates to the strategy)."""
-        self.log.post_object_log(tx, intent, speculative=speculative)
+        """FORD-style: undo-log one object to each of its replicas.
+
+        A *speculative* log (the "logging without locking" bug) is
+        posted before the CAS outcome is known, so its undo image
+        comes from the transaction's earlier read of the object.
+        """
+        tx.trace.focus("log")
+        if speculative:
+            cached = tx.read_set.get((intent.table_id, intent.slot))
+            if cached is None:
+                return
+            entry = (
+                intent.table_id,
+                intent.slot,
+                intent.key,
+                cached.version,
+                cached.version + 1,
+                cached.value,
+                intent.new_value,
+                cached.present,
+                intent.new_present,
+            )
+        else:
+            entry = intent.log_entry()
+        record_template_entries = (entry,)
+        for node in self.placement.replicas(intent.table_id, intent.slot):
+            record = LogRecord(
+                coord_id=self.coord_id,
+                txn_id=tx.txn_id,
+                entries=record_template_entries,
+            )
+            size = record.size_bytes({intent.table_id: self._log_value_size(intent.table_id)})
+            ack = self.verbs.write_log(node, record, size)
+            tx.log_acks.append(ack)
+            self._remember_log_copy(tx, node, ack)
 
     def _write_lock_log(
         self, intent: WriteIntent, lock_word: int
@@ -604,14 +745,33 @@ class ProtocolEngine:
         for node, record_id in getattr(intent, "_locklog_copies", ()):
             self.verbs.invalidate_log(node, self.coord_id, record_id, signaled=False)
 
-    def _post_coalesced_log(self, tx: Txn) -> None:
-        """Write-set-wide log barrier (coalesced record when the log
-        strategy posts one; a no-op otherwise). Runs after all locks
-        are held (lock-to-log order, §3.1.4); the decision point waits
-        for the acks. Mutation-harness engines override this hook."""
-        self.log.post_barrier(tx)
+    def _post_coalesced_log(self, tx: LegacyTxn) -> None:
+        """Pandora: one record covering the whole write-set, to the f+1
+        fixed log servers (§3.1.4). Posted after all locks are held
+        (lock-to-log order); the decision point waits for the acks."""
+        if not self.coalesced_logging or not tx.write_set:
+            return
+        tx.trace.focus("log")
+        entries = tuple(
+            intent.log_entry()
+            for intent in tx.write_set.values()
+            if intent.locked
+        )
+        if not entries:
+            return
+        value_sizes = {
+            spec.table_id: spec.value_size for spec in self.catalog.tables.values()
+        }
+        for node in self.catalog.log_nodes(self.coord_id):
+            record = LogRecord(
+                coord_id=self.coord_id, txn_id=tx.txn_id, entries=entries
+            )
+            size = record.size_bytes(value_sizes)
+            ack = self.verbs.write_log(node, record, size)
+            tx.log_acks.append(ack)
+            self._remember_log_copy(tx, node, ack)
 
-    def _remember_log_copy(self, tx: Txn, node: int, ack: Event) -> None:
+    def _remember_log_copy(self, tx: LegacyTxn, node: int, ack: Event) -> None:
         def on_ack(event: Event) -> None:
             if event._exception is None:
                 tx.logged_records.append((node, event._value))
@@ -620,7 +780,7 @@ class ProtocolEngine:
 
     # -- validation --------------------------------------------------------------------
 
-    def _post_validation_reads(self, tx: Txn):
+    def _post_validation_reads(self, tx: LegacyTxn):
         """Batch per-node header reads for read-set members not written."""
         to_validate = [
             entry
@@ -642,7 +802,7 @@ class ProtocolEngine:
             posted.append((entries, self.verbs.read_headers(node, addresses)))
         return posted
 
-    def _check_validation(self, tx: Txn, groups) -> Generator[Event, Any, None]:
+    def _check_validation(self, tx: LegacyTxn, groups) -> Generator[Event, Any, None]:
         for entries, event in groups:
             headers = yield event
             for entry, (lock, version, _present) in zip(entries, headers):
@@ -661,7 +821,7 @@ class ProtocolEngine:
                         f"table {entry.table_id} slot {entry.slot}",
                     )
 
-    def _check_upgrades(self, tx: Txn) -> None:
+    def _check_upgrades(self, tx: LegacyTxn) -> None:
         """FORD's deferred read-then-write version re-check.
 
         Purely local: compares the version captured at lock time with
@@ -682,7 +842,7 @@ class ProtocolEngine:
 
     # -- commit / abort ------------------------------------------------------------------
 
-    def _commit(self, tx: Txn, trace=NULL_TXN_TRACE) -> Generator[Event, Any, None]:
+    def _commit(self, tx: LegacyTxn, trace=NULL_TXN_TRACE) -> Generator[Event, Any, None]:
         apply_events: List[Event] = []
         touched: Dict[int, Tuple[int, int]] = {}
         for intent in tx.write_set.values():
@@ -693,11 +853,16 @@ class ProtocolEngine:
             if has_change:
                 value_size = self._log_value_size(intent.table_id)
                 for node in self.placement.live_replicas(intent.table_id, intent.slot):
-                    # The commit strategy decides what the apply write
-                    # carries (plain write_object vs vote1pc's
-                    # shadow-bearing vote_write).
                     apply_events.append(
-                        self.commit.post_apply(tx, intent, node, value_size)
+                        self.verbs.write_object(
+                            node,
+                            intent.table_id,
+                            intent.slot,
+                            intent.new_version,
+                            intent.new_value,
+                            intent.new_present,
+                            value_size=value_size,
+                        )
                     )
                     touched[node] = (intent.table_id, intent.slot)
                 intent.applied = True
@@ -744,7 +909,7 @@ class ProtocolEngine:
             self.verbs.invalidate_log(node, self.coord_id, record_id, signaled=False)
         trace.phase("unlock", self.sim.now)
 
-    def _abort(self, tx: Txn, reason: str) -> Generator[Event, Any, None]:
+    def _abort(self, tx: LegacyTxn, reason: str) -> Generator[Event, Any, None]:
         # Locks may still be in flight (e.g. the abort came from a read
         # during execution) — their CAS outcome decides what we must
         # release, so wait for them first.
@@ -806,7 +971,7 @@ class ProtocolEngine:
 
     # -- interrupted attempts (memory reconfiguration, §3.2.5) ---------------
 
-    def recover_interrupted(self, tx: Optional[Txn]) -> Generator[Event, Any, TxnOutcome]:
+    def recover_interrupted(self, tx: Optional[LegacyTxn]) -> Generator[Event, Any, TxnOutcome]:
         """Resolve an attempt cut short by a memory-failure interrupt.
 
         The compute server has complete knowledge of its in-flight
@@ -918,7 +1083,7 @@ class ProtocolEngine:
             end_time=self.sim.now,
         )
 
-    def _best_effort_release(self, tx: Txn) -> None:
+    def _best_effort_release(self, tx: LegacyTxn) -> None:
         """Drop log records, then unlock held locks, without waiting.
 
         Same order as :meth:`_abort`: the record invalidations are
@@ -935,3 +1100,78 @@ class ProtocolEngine:
                 tx.trace.lock_event(
                     "released", intent.table_id, intent.slot, self.sim.now
                 )
+
+
+class LegacyPandoraProtocol(LegacyProtocolEngine):
+    """Pandora on the frozen flag-based engine."""
+
+    name = "pandora"
+    pill_enabled = True
+    coalesced_logging = True
+    per_object_logging = False
+    pre_lock_logging = False
+
+    def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
+        super().__init__(coordinator, bugs if bugs is not None else BugFlags.fixed())
+
+
+class LegacyFordProtocol(LegacyProtocolEngine):
+    """FORD on the frozen flag-based engine."""
+
+    name = "ford"
+    pill_enabled = False
+    coalesced_logging = False
+    per_object_logging = True
+    pre_lock_logging = False
+    late_upgrade_check = True
+
+    def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
+        super().__init__(
+            coordinator, bugs if bugs is not None else BugFlags.published()
+        )
+
+
+class LegacyTradLogProtocol(LegacyProtocolEngine):
+    """Traditional logging on the frozen flag-based engine."""
+
+    name = "tradlog"
+    pill_enabled = False
+    coalesced_logging = True
+    per_object_logging = False
+    pre_lock_logging = True
+    late_upgrade_check = True
+
+    def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
+        super().__init__(coordinator, bugs if bugs is not None else BugFlags.fixed())
+
+
+_LEGACY_ENGINES = {
+    "pandora": LegacyPandoraProtocol,
+    "ford": LegacyFordProtocol,
+    "tradlog": LegacyTradLogProtocol,
+}
+
+
+def legacy_factory(protocol: str, bugs: Optional[BugFlags] = None):
+    """Engine factory selecting the frozen pre-refactor build.
+
+    Only the three protocols that predate the strategy layer have a
+    legacy build; lotus / vote1pc were born on the strategy engine and
+    have no flag-based ancestor to pin against.
+    """
+    if protocol == "baseline":
+        # FORD online component with the bugs fixed (§4.1 comparison).
+        engine_cls = LegacyFordProtocol
+        bugs = bugs if bugs is not None else BugFlags.fixed()
+    else:
+        engine_cls = _LEGACY_ENGINES.get(protocol)
+    if engine_cls is None:
+        raise ValueError(
+            f"no legacy engine for protocol {protocol!r}; "
+            f"choices: {sorted(_LEGACY_ENGINES)}"
+        )
+
+    def factory(coordinator):
+        return engine_cls(coordinator, bugs=bugs)
+
+    return factory

@@ -12,37 +12,72 @@ stray locks. Pandora's entire fast-recovery story reduces to the owner
 id being CAS'd in atomically with the lock bit: a failed CAS returns
 the current word, the loser checks the embedded owner against the
 failed-ids bitset, and steals the lock if the owner is dead.
+
+The owner field's all-ones value (``0xFFFF``) is the anonymous-owner
+sentinel, so only ids ``0..0xFFFE`` are encodable: a coordinator id of
+``0xFFFF`` would produce locks indistinguishable from FORD's anonymous
+words — unattributable, and therefore unstealable and unrecoverable by
+PILL. ``MAX_COORD_ID`` is capped one below the sentinel and
+``encode_lock`` rejects it outright.
+
+The LOTUS variant stores a *ticket* word in the same slot (bit 62 set):
+
+* bit 63          — locked flag
+* bit 62          — ticket flag (distinguishes ticket words)
+* bits 32..47     — coordinator-id of the *current holder*
+* bits 16..31     — next-ticket counter (FAA target)
+* bits 0..15      — now-serving counter
+
+The holder occupies the same owner bits as PILL, so ``owner_of`` /
+``is_locked`` attribution (sanitizer, recovery, failed-ids checks)
+works unchanged on ticket words. A fully drained queue stores 0 — the
+same "free" word every other protocol uses.
 """
 
 from __future__ import annotations
 
 __all__ = [
     "LOCKED_FLAG",
+    "TICKET_FLAG",
     "MAX_COORD_ID",
     "ANONYMOUS_OWNER",
     "encode_lock",
     "encode_anonymous_lock",
+    "encode_ticket_word",
     "is_locked",
+    "is_ticket_word",
     "owner_of",
     "tag_of",
+    "serving_of",
+    "next_ticket_of",
 ]
 
 LOCKED_FLAG = 1 << 63
+TICKET_FLAG = 1 << 62
 _OWNER_SHIFT = 32
 _OWNER_MASK = 0xFFFF
 _TAG_MASK = 0xFFFFFFFF
-
-# 16-bit ids: 64K coordinators over the lifetime of the system (§3.1.2).
-MAX_COORD_ID = _OWNER_MASK
+_TICKET_MASK = 0xFFFF
+_NEXT_SHIFT = 16
 
 # FORD locks have no owner identity; we encode them with this sentinel
 # so that `owner_of` is total but recovery cannot attribute them.
 ANONYMOUS_OWNER = _OWNER_MASK
 
+# 16-bit ids minus the reserved anonymous sentinel: ids 0..0xFFFE over
+# the lifetime of the system (§3.1.2). 0xFFFF == ANONYMOUS_OWNER must
+# never be handed to a coordinator — its locks would read as anonymous.
+MAX_COORD_ID = _OWNER_MASK - 1
+
 
 def encode_lock(coord_id: int, tag: int = 0) -> int:
     """Lock word owned by *coord_id* (PILL encoding)."""
     if not 0 <= coord_id <= MAX_COORD_ID:
+        if coord_id == ANONYMOUS_OWNER:
+            raise ValueError(
+                "coordinator id 0xFFFF is the anonymous-owner sentinel; "
+                "locks encoded with it would be unattributable to PILL"
+            )
         raise ValueError(f"coordinator id {coord_id} out of 16-bit range")
     if not 0 <= tag <= _TAG_MASK:
         raise ValueError(f"tag {tag} out of 32-bit range")
@@ -65,3 +100,39 @@ def owner_of(word: int) -> int:
 
 def tag_of(word: int) -> int:
     return word & _TAG_MASK
+
+
+def encode_ticket_word(
+    owner: int, serving: int, next_ticket: int, locked: bool = True
+) -> int:
+    """LOTUS ticket word: holder id + serving/next counters.
+
+    *owner* may be ``ANONYMOUS_OWNER`` only for a transiently
+    holder-less word (queue being advanced); encodable coordinator ids
+    are capped at ``MAX_COORD_ID`` like PILL words.
+    """
+    if owner != ANONYMOUS_OWNER and not 0 <= owner <= MAX_COORD_ID:
+        raise ValueError(f"coordinator id {owner} out of 16-bit range")
+    word = (
+        TICKET_FLAG
+        | (owner << _OWNER_SHIFT)
+        | ((next_ticket & _TICKET_MASK) << _NEXT_SHIFT)
+        | (serving & _TICKET_MASK)
+    )
+    if locked:
+        word |= LOCKED_FLAG
+    return word
+
+
+def is_ticket_word(word: int) -> bool:
+    return bool(word & TICKET_FLAG)
+
+
+def serving_of(word: int) -> int:
+    """Now-serving counter of a ticket word."""
+    return word & _TICKET_MASK
+
+
+def next_ticket_of(word: int) -> int:
+    """Next-ticket counter of a ticket word (the FAA target)."""
+    return (word >> _NEXT_SHIFT) & _TICKET_MASK

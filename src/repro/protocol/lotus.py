@@ -1,0 +1,66 @@
+"""LOTUS-style ticket-queue locking (protocol zoo member).
+
+LOTUS (Scalable and Fast Lock Management in Disaggregated Memory)
+moves lock fairness onto the lock server: acquisition is one FAA that
+takes a *ticket*, and the server grants the lock in ticket order. On a
+disaggregated store this trades FORD/Pandora's abort-on-conflict for
+bounded queueing — under hot-key contention the abort rate collapses
+because conflicting writers wait their turn instead of retrying the
+whole transaction.
+
+The zoo adaptation keeps PILL's recoverability:
+
+* The ticket word (see :mod:`repro.protocol.locks`) embeds the current
+  *holder's* coordinator id in the same bits as a PILL word, so the
+  sanitizer, the failed-ids check, and log recovery attribute ticket
+  locks exactly like PILL locks.
+* A dead **holder** is skipped client-side: any waiter observing a
+  failed holder posts a CAS conditioned on the full observed word; the
+  lock server executes it as a queue advance — the queue-aware
+  analogue of a PILL steal.
+* A dead **waiter** is skipped server-side: queue advances consult the
+  failed-ids bitset (pushed to lock servers by Cor4 exactly as it is
+  pushed to compute nodes) and drop tickets whose owner died while
+  queued.
+* A fully drained queue stores word 0, so recovery's conditional
+  CAS-to-0 release and the litmus invariant "all locks free" work
+  unchanged; ``recovery_mode`` is "pill".
+
+Undo logging and commit are Pandora's (coalesced f+1 records, logged
+commit): only the lock axis differs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocol.base import ProtocolEngine
+from repro.protocol.strategies import (
+    CoalescedLogStrategy,
+    LoggedCommitStrategy,
+    TicketLockStrategy,
+)
+from repro.protocol.types import BugFlags
+
+__all__ = ["LotusProtocol"]
+
+
+class LotusProtocol(ProtocolEngine):
+    """LOTUS: FAA ticket-queue locks + coalesced post-lock logging."""
+
+    name = "lotus"
+    lock_strategy = TicketLockStrategy
+    log_strategy = CoalescedLogStrategy
+    commit_strategy = LoggedCommitStrategy
+
+    def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
+        super().__init__(coordinator, bugs if bugs is not None else BugFlags.fixed())
+
+
+def lotus_factory(bugs: Optional[BugFlags] = None):
+    """Engine factory for :class:`~repro.protocol.coordinator.Coordinator`."""
+
+    def factory(coordinator):
+        return LotusProtocol(coordinator, bugs=bugs)
+
+    return factory

@@ -20,6 +20,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.protocol.base import ProtocolEngine
+from repro.protocol.strategies import (
+    CoalescedLogStrategy,
+    LoggedCommitStrategy,
+    PillCasLockStrategy,
+)
 from repro.protocol.types import BugFlags
 
 __all__ = ["PandoraProtocol"]
@@ -29,10 +34,9 @@ class PandoraProtocol(ProtocolEngine):
     """Pandora: PILL locks + coalesced post-lock logging."""
 
     name = "pandora"
-    pill_enabled = True
-    coalesced_logging = True
-    per_object_logging = False
-    pre_lock_logging = False
+    lock_strategy = PillCasLockStrategy
+    log_strategy = CoalescedLogStrategy
+    commit_strategy = LoggedCommitStrategy
 
     def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
         super().__init__(coordinator, bugs if bugs is not None else BugFlags.fixed())

@@ -21,6 +21,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.protocol.base import ProtocolEngine
+from repro.protocol.strategies import (
+    AnonymousCasLockStrategy,
+    LateUpgradeLoggedCommitStrategy,
+    LockIntentLogStrategy,
+)
 from repro.protocol.types import BugFlags
 
 __all__ = ["TradLogProtocol"]
@@ -30,11 +35,9 @@ class TradLogProtocol(ProtocolEngine):
     """FORD-style engine plus a pre-lock ownership log round trip."""
 
     name = "tradlog"
-    pill_enabled = False
-    coalesced_logging = True
-    per_object_logging = False
-    pre_lock_logging = True
-    late_upgrade_check = True
+    lock_strategy = AnonymousCasLockStrategy
+    log_strategy = LockIntentLogStrategy
+    commit_strategy = LateUpgradeLoggedCommitStrategy
 
     def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
         super().__init__(coordinator, bugs if bugs is not None else BugFlags.fixed())

@@ -1,0 +1,67 @@
+"""Logless one-phase commit ("To Vote Before Decide" adaptation).
+
+The f+1 undo-log write sits on every Pandora commit's critical path.
+The vote-1PC design removes it: each replica update is a *vote write*
+that carries, next to the new image, a per-slot **vote shadow** — the
+undo image plus the transaction's write-set manifest
+``((table_id, slot, new_version), ...)``. The commit decision is never
+written anywhere; it is *embedded in replica state*:
+
+    a transaction committed iff every manifest address reached its new
+    version on all live replicas — exactly the condition under which
+    the client could have been acked (the Cor2/Cor3 criterion applied
+    to data replicas instead of log copies).
+
+Recovery for a failed coordinator therefore scans for its locked slots
+(PILL owner attribution works unchanged — vote1pc uses PILL lock
+words), reads any replica's vote shadow, evaluates the manifest, and
+rolls the whole write-set forward or restores the shadows' undo
+images, then releases the locks conditionally. Shadows are cleared by
+the same unlock writes that free the lock word, so steady state stores
+no extra durable bytes.
+
+Caveats (documented trade-offs, see docs/PROTOCOLS.md):
+
+* recovery must *scan* for the dead coordinator's locks (no fixed log
+  servers to consult), so it costs a keyspace sweep like FORD's
+  scan-based cleanup — the price of a logless fast path;
+* a transaction interrupted between its first and last vote write is
+  rolled back from shadows, which requires at least one replica of
+  each written slot to survive (the same f-failure envelope as the
+  paper's log replication).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocol.base import ProtocolEngine
+from repro.protocol.strategies import (
+    NoLogStrategy,
+    PillCasLockStrategy,
+    VoteCommitStrategy,
+)
+from repro.protocol.types import BugFlags
+
+__all__ = ["Vote1PCProtocol"]
+
+
+class Vote1PCProtocol(ProtocolEngine):
+    """vote1pc: PILL locks + no undo log + shadow-bearing vote writes."""
+
+    name = "vote1pc"
+    lock_strategy = PillCasLockStrategy
+    log_strategy = NoLogStrategy
+    commit_strategy = VoteCommitStrategy
+
+    def __init__(self, coordinator, bugs: Optional[BugFlags] = None) -> None:
+        super().__init__(coordinator, bugs if bugs is not None else BugFlags.fixed())
+
+
+def vote1pc_factory(bugs: Optional[BugFlags] = None):
+    """Engine factory for :class:`~repro.protocol.coordinator.Coordinator`."""
+
+    def factory(coordinator):
+        return Vote1PCProtocol(coordinator, bugs=bugs)
+
+    return factory

@@ -37,6 +37,10 @@ VERB_CATEGORIES = {
     "cas_lock": "data",
     "write_lock": "data",
     "write_object": "data",
+    "faa_ticket": "data",
+    "cancel_ticket": "data",
+    "vote_write": "data",
+    "read_vote": "data",
     "write_log": "log",
     "invalidate_log": "log",
     "read_log_region": "log",
@@ -124,6 +128,48 @@ class Verbs:
             OBJECT_HEADER_BYTES + value_size,
             signaled=signaled,
         )
+
+    def faa_ticket(self, node: int, table: int, slot: int, coord_id: int) -> Event:
+        """FAA on the ticket word (LOTUS): take a queue ticket.
+
+        Returns ``(ticket, word)`` — the fetched ticket number and the
+        post-FAA lock word; ``ticket < 0`` means the slot carries a
+        foreign (non-ticket) lock word and the enqueue was refused.
+        """
+        return self._qp(node).post("faa_ticket", (table, slot, coord_id), 16)
+
+    def cancel_ticket(self, node: int, table: int, slot: int, ticket: int) -> Event:
+        """Withdraw a ticket (bounded-wait abort; LOTUS)."""
+        return self._qp(node).post("cancel_ticket", (table, slot, ticket), 16)
+
+    def vote_write(
+        self,
+        node: int,
+        table: int,
+        slot: int,
+        version: int,
+        value: Any,
+        present: bool,
+        shadow: Tuple,
+        value_size: int = 8,
+        signaled: bool = True,
+    ) -> Event:
+        """vote1pc apply: WRITE the new image + the per-slot vote shadow.
+
+        The shadow carries ``(coord_id, txn_id, old_version, old_value,
+        old_present, manifest)`` — roughly double the object payload on
+        the wire, which is the price of skipping the f+1 log write.
+        """
+        return self._qp(node).post(
+            "vote_write",
+            (table, slot, version, value, present, shadow),
+            OBJECT_HEADER_BYTES + 2 * value_size + 16 * len(shadow[5]) + 32,
+            signaled=signaled,
+        )
+
+    def read_vote(self, node: int, table: int, slot: int) -> Event:
+        """READ one slot's vote shadow (None when clear); vote1pc recovery."""
+        return self._qp(node).post("read_vote", (table, slot), 16)
 
     # -- log verbs --------------------------------------------------------------
 

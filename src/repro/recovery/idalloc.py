@@ -23,20 +23,30 @@ class IdAllocator:
 
     def __init__(
         self,
-        capacity: int = MAX_COORD_ID,  # ANONYMOUS_OWNER stays reserved
+        # Ids 0..MAX_COORD_ID are allocatable; ANONYMOUS_OWNER (0xFFFF,
+        # one past MAX_COORD_ID) stays reserved for FORD-style words.
+        capacity: int = MAX_COORD_ID + 1,
         recycle_threshold: float = 0.95,
+        # Serve ids starting here (ids below count as already consumed).
+        # Lets boundary tests place coordinators hard against
+        # MAX_COORD_ID without walking the whole 64K space first.
+        first_id: int = 0,
     ) -> None:
-        if capacity <= 0 or capacity > MAX_COORD_ID:
+        if capacity <= 0 or capacity > MAX_COORD_ID + 1:
             raise ValueError(f"capacity out of range: {capacity}")
         if not 0.0 < recycle_threshold <= 1.0:
             raise ValueError(f"recycle_threshold out of range: {recycle_threshold}")
+        if not 0 <= first_id < capacity:
+            raise ValueError(f"first_id out of range: {first_id}")
         self.capacity = capacity
         self.recycle_threshold = recycle_threshold
-        self._next = 0
+        self._next = first_id
         self._recycled: List[int] = []
         # Ids of coordinators declared failed whose stray locks may
-        # still exist (the contents of every failed-ids bitset).
-        self.failed = Bitset(MAX_COORD_ID + 1)
+        # still exist (the contents of every failed-ids bitset). Sized
+        # over the full owner-field range so any `owner_of` result is
+        # an in-range membership probe (the sentinel is never added).
+        self.failed = Bitset(ANONYMOUS_OWNER + 1)
         self.allocated_ever = 0
 
     def allocate(self) -> int:

@@ -17,15 +17,22 @@ Implements §3.2.2's four steps for compute failures:
    compute servers the failed coordinator-ids so they start stealing
    NotLogged-Stray-Tx locks (Cor4).
 
-Three recovery modes mirror the paper's three protocols:
+Four recovery modes mirror the protocol zoo:
 
-* ``pill``     — Pandora: steps 1-4 as above; stray locks are healed
+* ``pill``     — Pandora (and LOTUS, whose ticket words carry the same
+  owner attribution): steps 1-4 as above; stray locks are healed
   lazily by PILL stealing, so nothing blocks.
 * ``locklog``  — traditional scheme: additionally replays the
   per-lock intent records to release stray locks eagerly (~2x slower).
 * ``scan``     — Baseline (FORD): locks are anonymous, so the whole
   store is paused, drained, and scanned slot-by-slot with one-sided
   reads (~5 s per million keys, §6.1).
+* ``vote``     — vote1pc (logless 1PC): no log regions exist, so the
+  keyspace is scanned for dead-owner locks (no stop-the-world — the
+  words carry PILL owners) and each interrupted txn's decision is
+  re-derived from replica state: roll forward iff every manifest
+  address reached its new version on all live replicas, else roll
+  back from the per-slot vote shadows.
 """
 
 from __future__ import annotations
@@ -100,7 +107,7 @@ class RecoveryManager:
         obs=None,
         parallel_log_recovery: bool = True,
     ) -> None:
-        if mode not in ("pill", "locklog", "scan"):
+        if mode not in ("pill", "locklog", "scan", "vote"):
             raise ValueError(f"unknown recovery mode {mode!r}")
         self.sim = sim
         self.verbs = verbs
@@ -225,9 +232,11 @@ class RecoveryManager:
             args={"memory_nodes": len(fence_events)},
         )
 
-        # Step 3: log recovery.
+        # Step 3: log recovery (or its logless / anonymous analogues).
         if self.mode == "scan":
             yield from self._scan_recovery(node, coord_ids, record)
+        elif self.mode == "vote":
+            yield from self._vote_recovery(node, coord_ids, record)
         else:
             yield from self._log_recovery(coord_ids, record, pid=node.node_id)
         record.log_recovered_at = self.sim.now
@@ -610,6 +619,213 @@ class RecoveryManager:
                         record.locks_released += 1
             except RdmaError:
                 continue
+
+    # -- vote1pc logless recovery -------------------------------------------------
+
+    def _vote_recovery(
+        self, node, coord_ids: Iterable[int], record: RecoveryRecord
+    ) -> Generator[Event, Any, None]:
+        """Re-derive decisions from replica state (logless 1PC).
+
+        There are no log regions to read: the price of skipping the
+        f+1 log write is a keyspace scan for dead-owner locks. Unlike
+        the Baseline scan this needs no stop-the-world — vote1pc words
+        carry PILL owner ids, so live traffic keeps running and only
+        locks attributable to the failed coordinators are touched.
+        Every step is idempotent (conditioned CAS releases, version-
+        guarded restores), so a killed recovery can re-run from scratch.
+        """
+        dead = set(coord_ids)
+        tracer = self.obs.tracer
+
+        # Phase 1: chunked header scans over every live memory node,
+        # collecting slots locked by a dead coordinator. Chunks are
+        # charged as bulk 16B-header transfers (the RC reads in large
+        # parallel bursts, not one slot per round trip).
+        scan_started = self.sim.now
+        stray: List[Tuple[int, int, int, int]] = []  # (mem, table, slot, word)
+        for mem_id in self._alive_memory_ids():
+            memory = self.memory_nodes[mem_id]
+            for table_id, table in memory.tables.items():
+                position = 0
+                total = len(table)
+                while position < total:
+                    chunk = min(self.scan_chunk_slots, total - position)
+                    yield self.sim.timeout(self.network.transfer_time(chunk * 16))
+                    try:
+                        locked, position = yield self.verbs.scan_chunk(
+                            mem_id, table_id, position, chunk
+                        )
+                    except RdmaError:
+                        break
+                    record.scanned_slots += chunk
+                    for slot, word in locked:
+                        if is_locked(word) and owner_of(word) in dead:
+                            stray.append((mem_id, table_id, slot, word))
+        tracer.span(
+            "recovery",
+            "vote-scan",
+            scan_started,
+            self.sim.now,
+            pid=node.node_id,
+            args={
+                "scanned_slots": record.scanned_slots,
+                "stray_locks": len(stray),
+            },
+        )
+
+        # Phase 2: read the stray slots' vote shadows and group the
+        # interrupted transactions by (coord, txn). A stray lock with
+        # no shadow is a lock-phase-only txn — nothing was applied, so
+        # releasing the lock (phase 4) is its entire roll-back.
+        txns: Dict[Tuple[int, int], Tuple] = {}  # (coord, txn) -> manifest
+        posted = [
+            (mem_id, table_id, slot, self.verbs.read_vote(mem_id, table_id, slot))
+            for mem_id, table_id, slot, _word in stray
+        ]
+        for mem_id, table_id, slot, event in posted:
+            try:
+                shadow = yield event
+            except RdmaError:
+                continue
+            if shadow is None:
+                continue
+            shadow_coord, shadow_txn = shadow[0], shadow[1]
+            if shadow_coord in dead:
+                txns.setdefault((shadow_coord, shadow_txn), shadow[5])
+        record.logged_txns += len(txns)
+
+        # Phase 3: decide + repair, txn by txn (deterministic order).
+        for (coord_id, txn_id), manifest in sorted(txns.items()):
+            yield from self._repair_vote_txn(
+                coord_id, txn_id, manifest, record, pid=node.node_id
+            )
+
+        # Phase 4: release every dead-owner lock found by the scan via
+        # owner-conditioned CAS (which also clears that slot's shadow
+        # server-side).
+        release_started = self.sim.now
+        for mem_id, table_id, slot, word in stray:
+            try:
+                old = yield self.verbs.cas_lock(mem_id, table_id, slot, word, 0)
+                if old == word:
+                    record.locks_released += 1
+            except RdmaError:
+                continue
+        tracer.span(
+            "recovery",
+            "stray-lock-release",
+            release_started,
+            self.sim.now,
+            pid=node.node_id,
+            args={"locks": len(stray)},
+        )
+
+    def _repair_vote_txn(
+        self,
+        coord_id: int,
+        txn_id: int,
+        manifest: Tuple,
+        record: RecoveryRecord,
+        pid: int = 0,
+    ) -> Generator[Event, Any, None]:
+        """Decide one interrupted vote1pc txn from its manifest.
+
+        Roll forward iff every live replica of every manifest address
+        already carries (at least) the new version — only then can the
+        client have been acked (the coordinator acks after all
+        vote_writes complete). Otherwise roll back each replica that
+        took an update, restoring the pre-image from that replica's own
+        vote shadow.
+        """
+        repair_started = self.sim.now
+        per_node: Dict[int, List[Tuple[int, int]]] = {}
+        for table_id, slot, _new_version in manifest:
+            for node_id in self.placement.replicas(table_id, slot):
+                if self.memory_nodes[node_id].alive:
+                    per_node.setdefault(node_id, []).append((table_id, slot))
+        headers: Dict[Tuple[int, Tuple[int, int]], Tuple] = {}
+        posted = [
+            (node_id, addresses, self.verbs.read_headers(node_id, addresses))
+            for node_id, addresses in per_node.items()
+        ]
+        for node_id, addresses, event in posted:
+            try:
+                results = yield event
+            except RdmaError:
+                continue
+            for address, header in zip(addresses, results):
+                headers[(node_id, address)] = header
+
+        updated_all = True
+        for table_id, slot, new_version in manifest:
+            for node_id in self.placement.replicas(table_id, slot):
+                header = headers.get((node_id, (table_id, slot)))
+                if header is None:
+                    continue  # replica down; judged by the survivors
+                _lock, version, _present = header
+                if version < new_version:
+                    updated_all = False
+                    break
+            if not updated_all:
+                break
+
+        if updated_all:
+            record.rolled_forward += 1
+        else:
+            record.rolled_back += 1
+            vote_posted = []
+            for table_id, slot, new_version in manifest:
+                for node_id in self.placement.replicas(table_id, slot):
+                    header = headers.get((node_id, (table_id, slot)))
+                    if header is None or header[1] < new_version:
+                        continue  # replica never took the update
+                    vote_posted.append(
+                        (
+                            node_id,
+                            table_id,
+                            slot,
+                            self.verbs.read_vote(node_id, table_id, slot),
+                        )
+                    )
+            restore_events = []
+            for node_id, table_id, slot, event in vote_posted:
+                try:
+                    shadow = yield event
+                except RdmaError:
+                    continue
+                if (
+                    shadow is None
+                    or shadow[0] != coord_id
+                    or shadow[1] != txn_id
+                ):
+                    continue  # already repaired / overwritten since
+                restore_events.append(
+                    self.verbs.write_object(
+                        node_id,
+                        table_id,
+                        slot,
+                        shadow[2],
+                        shadow[3],
+                        shadow[4],
+                        value_size=self.catalog.tables[table_id].value_size,
+                    )
+                )
+            record.restored_replicas += len(restore_events)
+            for event in restore_events:
+                try:
+                    yield event
+                except RdmaError:
+                    continue
+        self.obs.tracer.span(
+            "recovery",
+            "roll-forward" if updated_all else "roll-back",
+            repair_started,
+            self.sim.now,
+            pid=pid,
+            tid=coord_id,
+            args={"writes": len(manifest)},
+        )
 
     # -- Baseline scan recovery (§3.1.1 / §6.1) ---------------------------------------
 

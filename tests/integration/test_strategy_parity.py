@@ -1,0 +1,122 @@
+"""Old-vs-new engine parity: the strategy refactor must be bit-identical.
+
+PR 10 split the protocol engine's flag-branched lock/log/commit logic
+into pluggable strategy objects (``repro.protocol.strategies``) and
+re-expressed pandora/ford/tradlog as strategy triples. That is pure
+structure work: ``ClusterConfig.legacy_engine=True`` rebuilds the
+frozen pre-refactor engine (``repro.protocol.legacy``), so both builds
+run in one process and are diffed on the same axes as the PR 9
+scheduler parity suite:
+
+* end-state fingerprints (every slot's lock/version/present/value on
+  every memory node),
+* ``Simulator.processed_events``,
+* per-node verb counts,
+* litmus outcome counts and chaos committed/crash counts.
+
+The two *new* protocols (lotus, vote1pc) have no legacy twin — their
+coverage lives in the litmus/chaos zoo tests instead.
+"""
+
+import pytest
+
+from repro.chaos import ChaosRunner, generate_schedule
+from repro.litmus import LitmusRunner, litmus1_direct_write, litmus3_indirect_write
+
+from tests.integration.test_scheduler_parity import cluster_fingerprint, verb_totals
+
+LEGACY_PROTOCOLS = ("pandora", "ford", "tradlog")
+
+#: One chaos seed per fault family for the flagship; spot checks for
+#: the other two triples (each run builds a full cluster).
+CHAOS_PARITY = [("pandora", seed) for seed in range(5)] + [
+    ("ford", 0),
+    ("ford", 3),
+    ("tradlog", 1),
+    ("tradlog", 4),
+]
+
+
+def run_litmus(protocol, legacy, crash_probability=0.0, sanitize=False, spec=None):
+    runner = LitmusRunner(
+        spec if spec is not None else litmus1_direct_write(),
+        protocol=protocol,
+        rounds=12,
+        seed=7,
+        crash_probability=crash_probability,
+        legacy_engine=legacy,
+        sanitize=sanitize,
+    )
+    report = runner.run()
+    return report, runner.cluster
+
+
+def assert_identical(old, new):
+    old_report, old_cluster = old
+    new_report, new_cluster = new
+    assert new_report.commits == old_report.commits
+    assert new_report.aborts == old_report.aborts
+    assert new_report.unknown == old_report.unknown
+    assert new_report.crashes_injected == old_report.crashes_injected
+    assert [str(v) for v in new_report.violations] == [
+        str(v) for v in old_report.violations
+    ]
+    assert new_cluster.sim.processed_events == old_cluster.sim.processed_events
+    assert cluster_fingerprint(new_cluster) == cluster_fingerprint(old_cluster)
+    assert verb_totals(new_cluster) == verb_totals(old_cluster)
+
+
+@pytest.mark.parametrize("protocol", LEGACY_PROTOCOLS)
+class TestLitmusStrategyParity:
+    def test_clean_run_parity(self, protocol):
+        assert_identical(
+            run_litmus(protocol, legacy=True),
+            run_litmus(protocol, legacy=False),
+        )
+
+    def test_crashing_run_parity(self, protocol):
+        # Crashes exercise recovery, stray stealing, and the undo path
+        # on both builds.
+        assert_identical(
+            run_litmus(protocol, legacy=True, crash_probability=0.3),
+            run_litmus(protocol, legacy=False, crash_probability=0.3),
+        )
+
+    def test_sanitized_run_parity(self, protocol):
+        # The sanitizer watches every verb; the instrumented twins must
+        # still schedule identically.
+        assert_identical(
+            run_litmus(protocol, legacy=True, sanitize=True),
+            run_litmus(protocol, legacy=False, sanitize=True),
+        )
+
+    def test_indirect_write_spec_parity(self, protocol):
+        spec = litmus3_indirect_write()
+        assert_identical(
+            run_litmus(protocol, legacy=True, spec=spec),
+            run_litmus(protocol, legacy=False, spec=spec),
+        )
+
+
+class TestChaosStrategyParity:
+    @pytest.mark.parametrize("protocol,seed", CHAOS_PARITY)
+    def test_seed_parity(self, protocol, seed):
+        old = ChaosRunner(
+            generate_schedule(seed, protocol=protocol), legacy_engine=True
+        )
+        old_result = old.run()
+        new = ChaosRunner(
+            generate_schedule(seed, protocol=protocol), legacy_engine=False
+        )
+        new_result = new.run()
+        assert new_result.fingerprint == old_result.fingerprint
+        assert new_result.committed == old_result.committed
+        assert new_result.crashes == old_result.crashes
+        assert new_result.recovery_kills == old_result.recovery_kills
+        assert [str(v) for v in new_result.violations] == [
+            str(v) for v in old_result.violations
+        ]
+        assert (
+            new.cluster.sim.processed_events == old.cluster.sim.processed_events
+        )
+        assert verb_totals(new.cluster) == verb_totals(old.cluster)

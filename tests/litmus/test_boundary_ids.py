@@ -1,0 +1,74 @@
+"""Boundary coordinator ids: litmus at the top of the legal id space.
+
+Regression companion to the encode_lock sentinel fix: before it, a
+deployment whose id allocation reached 0xFFFF would mint lock words
+that FORD-style readers treat as *anonymous* — stray locks that PILL
+recovery could never attribute. ``ClusterConfig.first_coord_id`` lets
+this suite place the whole initial coordinator wave hard against
+``MAX_COORD_ID = 0xFFFE`` and prove the run behaves exactly like an
+id-0 run: every lock word stays attributable, the sentinel is never
+allocated, and the very next allocation exhausts rather than rolling
+into 0xFFFF.
+"""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.litmus import LitmusRunner, litmus1_direct_write
+from repro.protocol.locks import ANONYMOUS_OWNER, MAX_COORD_ID
+
+COMPUTE_NODES = 2
+PER_NODE = 4
+#: First id such that the initial wave ends exactly at MAX_COORD_ID.
+FIRST = MAX_COORD_ID + 1 - COMPUTE_NODES * PER_NODE
+
+
+def run_boundary_litmus(protocol):
+    runner = LitmusRunner(
+        litmus1_direct_write(),
+        protocol=protocol,
+        rounds=8,
+        seed=11,
+        compute_nodes=COMPUTE_NODES,
+        coordinators_per_node=PER_NODE,
+        first_coord_id=FIRST,
+    )
+    return runner.run(), runner.cluster
+
+
+@pytest.mark.parametrize("protocol", ["pandora", "lotus"])
+def test_boundary_ids_commit_cleanly(protocol):
+    # lotus rides along because ticket words embed the holder id in the
+    # same owner field — the boundary must hold for both word formats.
+    report, cluster = run_boundary_litmus(protocol)
+    assert report.passed
+    assert report.commits > 0
+    ids = [
+        coord_id
+        for node in cluster.compute_nodes.values()
+        for coord_id in node.coordinator_ids()
+    ]
+    assert max(ids) == MAX_COORD_ID
+    assert ANONYMOUS_OWNER not in ids
+    assert all(FIRST <= coord_id <= MAX_COORD_ID for coord_id in ids)
+
+
+def test_id_space_exhausts_instead_of_minting_the_sentinel():
+    _report, cluster = run_boundary_litmus("pandora")
+    with pytest.raises(RuntimeError):
+        cluster.id_allocator.allocate()
+
+
+def test_config_rejects_a_wave_that_reaches_the_sentinel():
+    config = ClusterConfig(
+        compute_nodes=COMPUTE_NODES,
+        coordinators_per_node=PER_NODE,
+        first_coord_id=FIRST + 1,
+    )
+    with pytest.raises(ValueError):
+        config.validate()
+
+
+def test_config_rejects_out_of_range_first_id():
+    with pytest.raises(ValueError):
+        ClusterConfig(first_coord_id=ANONYMOUS_OWNER).validate()

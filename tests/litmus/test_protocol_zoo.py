@@ -1,0 +1,64 @@
+"""Litmus coverage for the two zoo newcomers (lotus, vote1pc).
+
+The classic pandora/ford/tradlog litmus matrix lives in
+``test_scenarios.py``; lotus and vote1pc get the same treatment here:
+clean runs, crash-heavy runs (exercising queue-aware PILL recovery for
+lotus and the replica-state decision for vote1pc), and sanitized runs
+where the PILL shadow-lock table audits every verb.
+"""
+
+import pytest
+
+from repro.litmus import (
+    LitmusRunner,
+    litmus1_direct_write,
+    litmus1_insert_delete,
+    litmus2_read_write,
+    litmus3_indirect_write,
+)
+
+ZOO = ("lotus", "vote1pc")
+
+SPECS = [
+    litmus1_direct_write,
+    litmus1_insert_delete,
+    litmus2_read_write,
+    litmus3_indirect_write,
+]
+
+
+def run_spec(spec, protocol, **kwargs):
+    kwargs.setdefault("rounds", 12)
+    kwargs.setdefault("seed", 7)
+    runner = LitmusRunner(spec(), protocol=protocol, **kwargs)
+    return runner.run()
+
+
+@pytest.mark.parametrize("protocol", ZOO)
+class TestZooLitmus:
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_clean_runs_pass_every_spec(self, protocol, spec):
+        report = run_spec(spec, protocol)
+        assert report.passed, [str(v) for v in report.violations]
+        assert report.commits > 0
+
+    def test_crashing_runs_stay_consistent(self, protocol):
+        # Heavy crash injection: recovery (queue-aware PILL for lotus,
+        # shadow-vote re-derivation for vote1pc) must keep the
+        # application-observable assertion true in every round and in
+        # the retroactive final sweep.
+        report = run_spec(
+            litmus1_direct_write, protocol, rounds=20, crash_probability=0.5
+        )
+        assert report.passed, [str(v) for v in report.violations]
+        assert report.crashes_injected > 0
+
+    def test_sanitized_crashing_runs_stay_clean(self, protocol):
+        report = run_spec(
+            litmus1_direct_write,
+            protocol,
+            rounds=15,
+            crash_probability=0.3,
+            sanitize=True,
+        )
+        assert report.passed, [str(v) for v in report.violations]

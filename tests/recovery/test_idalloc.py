@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.protocol.locks import ANONYMOUS_OWNER
+from repro.protocol.locks import ANONYMOUS_OWNER, MAX_COORD_ID
 from repro.recovery.idalloc import IdAllocator
 
 
@@ -29,6 +29,36 @@ class TestAllocation:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             IdAllocator(capacity=0)
+
+
+class TestFirstId:
+    """The boundary knob: start serving ids partway up the space."""
+
+    def test_serves_from_first_id(self):
+        allocator = IdAllocator(first_id=MAX_COORD_ID - 2)
+        assert [allocator.allocate() for _ in range(3)] == [
+            MAX_COORD_ID - 2,
+            MAX_COORD_ID - 1,
+            MAX_COORD_ID,
+        ]
+
+    def test_never_mints_the_sentinel(self):
+        # The very last legal id is MAX_COORD_ID = 0xFFFE; the next
+        # allocation must exhaust, never hand out ANONYMOUS_OWNER.
+        allocator = IdAllocator(first_id=MAX_COORD_ID)
+        assert allocator.allocate() == MAX_COORD_ID
+        with pytest.raises(RuntimeError):
+            allocator.allocate()
+
+    def test_first_id_counts_as_consumed(self):
+        allocator = IdAllocator(capacity=100, first_id=96)
+        assert allocator.needs_recycling
+
+    def test_invalid_first_id(self):
+        with pytest.raises(ValueError):
+            IdAllocator(first_id=-1)
+        with pytest.raises(ValueError):
+            IdAllocator(capacity=8, first_id=8)
 
 
 class TestFailedIds:

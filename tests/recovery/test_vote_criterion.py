@@ -1,0 +1,125 @@
+"""Property tests for the vote1pc recovery decision (logless 1PC).
+
+Mirror of ``test_rollforward_criterion.py`` for the zoo's logless
+member: an interrupted vote1pc transaction leaves no log record — its
+undo images and write-set manifest live only in the per-slot vote
+shadows carried by each replica update. Recovery must re-derive the
+decision from replica state alone: roll forward iff every manifest
+address reached its new version on every live replica (only then could
+the client have been acked), otherwise restore every updated replica
+from its own shadow. Either way the post state must be all-new or
+all-old on every replica, with every stray lock released and the
+primary's shadow cleared.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, ClusterConfig
+from repro.protocol.locks import encode_lock
+from repro.workloads import MicroBenchmark
+
+KEYS = 40
+TXN_ID = 4242
+
+
+def build_cluster(seed=71):
+    cluster = Cluster(
+        ClusterConfig(
+            memory_nodes=3,
+            replication_degree=2,
+            compute_nodes=2,
+            coordinators_per_node=1,
+            protocol="vote1pc",
+            seed=seed,
+            fd_timeout=1e-3,
+            fd_heartbeat_interval=0.3e-3,
+            fd_check_interval=0.15e-3,
+        ),
+        MicroBenchmark(num_keys=KEYS, write_ratio=1.0),
+    )
+    cluster.start(run_coordinators=False)
+    return cluster
+
+
+@given(
+    write_set_size=st.integers(1, 4),
+    # Per object: which replicas the vote write reached before the
+    # crash. Vote writes land primary-first, so "backup only" cannot
+    # occur; "primary" models a crash between the two posts.
+    applied_pattern=st.lists(
+        st.sampled_from(["none", "primary", "all"]), min_size=4, max_size=4
+    ),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_vote_recovery_leaves_all_or_nothing(write_set_size, applied_pattern, seed):
+    cluster = build_cluster(seed=71)
+    sim = cluster.sim
+    sim.run(until=1e-3)
+    coord = cluster.compute_nodes[0].coordinators[0]
+    catalog = cluster.catalog
+    rng = random.Random(seed)
+
+    keys = rng.sample(range(KEYS), write_set_size)
+    plan = []
+    fully_applied = True
+    any_shadow = False
+    for index, key in enumerate(keys):
+        slot = catalog.slot_for(0, key)
+        replicas = list(catalog.replicas(0, slot))
+        primary = catalog.primary(0, slot)
+        base = cluster.memory_nodes[replicas[0]].slot(0, slot).version
+        pattern = applied_pattern[index % len(applied_pattern)]
+        if pattern == "none":
+            applied = []
+        elif pattern == "primary":
+            applied = [primary]
+        else:
+            applied = replicas
+        if set(applied) != set(replicas):
+            fully_applied = False
+        if applied:
+            any_shadow = True
+        plan.append((index, key, slot, base, applied, replicas, primary))
+
+    # Every shadow carries the whole transaction's manifest.
+    manifest = tuple((0, slot, base + 1) for _i, _k, slot, base, *_ in plan)
+    for index, key, slot, base, applied, _replicas, primary in plan:
+        shadow = (coord.coord_id, TXN_ID, base, ("old", key), True, manifest)
+        for node_id in applied:
+            cluster.memory_nodes[node_id]._op_vote_write(
+                0, (0, slot, base + 1, ("new", key), True, shadow)
+            )
+        # The (about to fail) coordinator still holds the primary lock.
+        cluster.memory_nodes[primary].slot(0, slot).lock = encode_lock(
+            coord.coord_id, tag=index + 1
+        )
+
+    cluster.compute_nodes[0].crash()
+    sim.run(until=sim.now + 20e-3)
+    record = [r for r in cluster.recovery.records if r.kind == "compute"][0]
+
+    # Decision matches the criterion: forward iff all replicas voted.
+    if fully_applied:
+        assert record.rolled_forward == 1 and record.rolled_back == 0
+    elif any_shadow:
+        assert record.rolled_back == 1 and record.rolled_forward == 0
+    else:
+        # Lock-phase only: nothing was applied anywhere, so there is
+        # no transaction to decide — just locks to release.
+        assert record.rolled_forward == 0 and record.rolled_back == 0
+
+    # Atomicity: every replica of every object agrees, the state is
+    # all-new or all-old, stray locks are gone, shadows are cleared.
+    states = set()
+    for _index, key, slot, _base, _applied, replicas, primary in plan:
+        for node_id in replicas:
+            entry = cluster.memory_nodes[node_id].slot(0, slot)
+            states.add(entry.value[0] if isinstance(entry.value, tuple) else "old")
+            assert entry.lock == 0
+        assert cluster.memory_nodes[primary]._vote_shadows.get((0, slot)) is None
+    assert len(states) == 1, f"mixed outcome: {states}"
+    assert ("new" in states) == fully_applied
